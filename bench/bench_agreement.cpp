@@ -1,0 +1,65 @@
+// E1 — §5: "the resulting ACSR model is deadlock-free if and only if every
+// task meets its deadline". Large randomized agreement check between the
+// exploration verdict and the exact classical procedures, reported as a
+// confusion matrix (it must be diagonal).
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace aadlsched;
+
+void print_table() {
+  bench::print_header("E1: deadlock-freedom <=> schedulability",
+                      "confusion matrices must be diagonal");
+  const int kSets = 60;
+
+  int fp[2][2] = {{0, 0}, {0, 0}};
+  for (int seed = 1; seed <= kSets; ++seed) {
+    sched::TaskSet ts = bench::workload(
+        static_cast<std::uint64_t>(seed) * 101 + 3, 3, 0.88);
+    sched::assign_rate_monotonic(ts);
+    const bool exact = sched::response_time_analysis(ts).verdict ==
+                       sched::Verdict::Schedulable;
+    const auto r =
+        bench::run_taskset(ts, sched::SchedulingPolicy::FixedPriority);
+    fp[exact ? 1 : 0][r.explored.schedulable() ? 1 : 0]++;
+  }
+  std::printf("fixed priority (vs exact RTA), %d sets:\n", kSets);
+  std::printf("                 explore:miss  explore:ok\n");
+  std::printf("  rta:miss       %11d %11d\n", fp[0][0], fp[0][1]);
+  std::printf("  rta:ok         %11d %11d\n", fp[1][0], fp[1][1]);
+
+  int edf[2][2] = {{0, 0}, {0, 0}};
+  for (int seed = 1; seed <= kSets; ++seed) {
+    const sched::TaskSet ts = bench::workload(
+        static_cast<std::uint64_t>(seed) * 101 + 3, 3, 0.92, 0.8);
+    const bool exact = sched::edf_demand_analysis(ts).verdict ==
+                       sched::Verdict::Schedulable;
+    const auto r = bench::run_taskset(ts, sched::SchedulingPolicy::Edf);
+    edf[exact ? 1 : 0][r.explored.schedulable() ? 1 : 0]++;
+  }
+  std::printf("EDF (vs processor-demand analysis), %d sets:\n", kSets);
+  std::printf("                 explore:miss  explore:ok\n");
+  std::printf("  pda:miss       %11d %11d\n", edf[0][0], edf[0][1]);
+  std::printf("  pda:ok         %11d %11d\n", edf[1][0], edf[1][1]);
+  std::printf("\n");
+}
+
+void BM_AgreementRound(benchmark::State& state) {
+  for (auto _ : state) {
+    sched::TaskSet ts = bench::workload(7, 3, 0.88);
+    sched::assign_rate_monotonic(ts);
+    benchmark::DoNotOptimize(
+        bench::run_taskset(ts, sched::SchedulingPolicy::FixedPriority));
+  }
+}
+BENCHMARK(BM_AgreementRound);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,100 @@
+// E8 — §6 (vs MetaH): classical rate-monotonic admission (utilization
+// bounds) against exact RTA and exhaustive exploration. Table: over random
+// task sets per utilization level, how many each method admits. Shape:
+// bound <= hyperbolic <= RTA == exploration (the bounds are sufficient
+// only; RTA is exact and exploration matches it on independent periodic
+// tasks).
+//
+// Timing benches compare the cost: the analytical tests are microseconds,
+// exploration is milliseconds — the price of exactness on models where no
+// closed-form test exists (§1).
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace aadlsched;
+
+constexpr std::size_t kTasks = 4;
+constexpr int kSets = 24;
+
+void print_table() {
+  bench::print_header(
+      "E8: admission counts — LL bound vs hyperbolic vs RTA vs exploration",
+      "bounds are sufficient-only; RTA is exact; exploration == RTA");
+  std::printf("%6s %6s %12s %6s %14s %8s\n", "U", "LL", "hyperbolic", "RTA",
+              "exploration", "sets");
+  for (double u : {0.65, 0.75, 0.85, 0.95}) {
+    int ll = 0, hb = 0, rta = 0, expl = 0;
+    for (int seed = 1; seed <= kSets; ++seed) {
+      sched::TaskSet ts =
+          bench::workload(static_cast<std::uint64_t>(seed) * 31 + 7,
+                          kTasks, u);
+      sched::assign_rate_monotonic(ts);
+      ll += sched::rm_utilization_test(ts) == sched::Verdict::Schedulable;
+      hb += sched::hyperbolic_bound_test(ts) == sched::Verdict::Schedulable;
+      const bool rta_ok = sched::response_time_analysis(ts).verdict ==
+                          sched::Verdict::Schedulable;
+      rta += rta_ok;
+      const auto r =
+          bench::run_taskset(ts, sched::SchedulingPolicy::FixedPriority);
+      expl += r.ok && r.explored.schedulable();
+    }
+    std::printf("%6.2f %6d %12d %6d %14d %8d\n", u, ll, hb, rta, expl,
+                kSets);
+  }
+  std::printf("\n");
+}
+
+void BM_UtilizationBound(benchmark::State& state) {
+  sched::TaskSet ts = bench::workload(42, kTasks, 0.85);
+  sched::assign_rate_monotonic(ts);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sched::rm_utilization_test(ts));
+}
+BENCHMARK(BM_UtilizationBound);
+
+void BM_ResponseTimeAnalysis(benchmark::State& state) {
+  sched::TaskSet ts = bench::workload(42, kTasks, 0.85);
+  sched::assign_rate_monotonic(ts);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sched::response_time_analysis(ts));
+}
+BENCHMARK(BM_ResponseTimeAnalysis);
+
+void BM_EdfDemandAnalysis(benchmark::State& state) {
+  const sched::TaskSet ts = bench::workload(42, kTasks, 0.85, 0.8);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sched::edf_demand_analysis(ts));
+}
+BENCHMARK(BM_EdfDemandAnalysis);
+
+void BM_EdfQpa(benchmark::State& state) {
+  const sched::TaskSet ts = bench::workload(42, kTasks, 0.85, 0.8);
+  for (auto _ : state) benchmark::DoNotOptimize(sched::edf_qpa(ts));
+}
+BENCHMARK(BM_EdfQpa);
+
+void BM_HyperperiodSimulation(benchmark::State& state) {
+  sched::TaskSet ts = bench::workload(42, kTasks, 0.85);
+  sched::assign_rate_monotonic(ts);
+  for (auto _ : state) benchmark::DoNotOptimize(sched::simulate(ts));
+}
+BENCHMARK(BM_HyperperiodSimulation);
+
+void BM_Exploration(benchmark::State& state) {
+  sched::TaskSet ts = bench::workload(42, kTasks, 0.85);
+  sched::assign_rate_monotonic(ts);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        bench::run_taskset(ts, sched::SchedulingPolicy::FixedPriority));
+}
+BENCHMARK(BM_Exploration);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

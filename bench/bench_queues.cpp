@@ -1,0 +1,129 @@
+// E5 — §4.4: queue management. Two arrival regimes against a sporadic
+// consumer, swept over Queue_Size and Overflow_Handling_Protocol:
+//
+//   * overloaded: producer emits faster than the consumer's minimum
+//     separation admits dispatches — the backlog grows without bound, so
+//     under Error *every* finite queue eventually overflows (and the
+//     analysis reports the violation; larger queues only postpone it, which
+//     shows as more explored states), while DropNewest sheds events and
+//     stays safe;
+//   * balanced: arrival rate equals the service rate — Queue_Size 1 already
+//     suffices under either protocol.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace aadlsched;
+
+std::string queue_model(int producer_period, int consumer_sep,
+                        int queue_size, bool error_protocol) {
+  char buf[2304];
+  std::snprintf(buf, sizeof(buf), R"(
+    package Q
+    public
+      processor Cpu
+      properties
+        Scheduling_Protocol => POSIX_1003_HIGHEST_PRIORITY_FIRST_PROTOCOL;
+      end Cpu;
+      thread Producer
+      features
+        evt : out event port;
+      end Producer;
+      thread implementation Producer.impl
+      properties
+        Dispatch_Protocol => Periodic;
+        Period => %d ms;
+        Compute_Execution_Time => 1 ms .. 1 ms;
+        Deadline => %d ms;
+        Priority => 2;
+      end Producer.impl;
+      thread Consumer
+      features
+        trig : in event port { Queue_Size => %d; };
+      end Consumer;
+      thread implementation Consumer.impl
+      properties
+        Dispatch_Protocol => Sporadic;
+        Period => %d ms;
+        Compute_Execution_Time => 1 ms .. 1 ms;
+        Deadline => %d ms;
+        Priority => 1;
+      end Consumer.impl;
+      system R
+      end R;
+      system implementation R.impl
+      subcomponents
+        p   : thread Producer.impl;
+        c   : thread Consumer.impl;
+        cpu : processor Cpu;
+      connections
+        conn : port p.evt -> c.trig;
+      properties
+        Actual_Processor_Binding => reference (cpu) applies to p;
+        Actual_Processor_Binding => reference (cpu) applies to c;
+        %s
+      end R.impl;
+    end Q;
+  )",
+                producer_period, producer_period, queue_size, consumer_sep,
+                consumer_sep * 3,
+                error_protocol
+                    ? "Overflow_Handling_Protocol => Error applies to conn;"
+                    : "");
+  return buf;
+}
+
+void row(const char* regime, int producer_period, int consumer_sep,
+         int size) {
+  translate::TranslateOptions topts;
+  topts.quantum_ns = 1'000'000;
+  const auto err = bench::run_pipeline(
+      queue_model(producer_period, consumer_sep, size, true), "R.impl",
+      topts);
+  const auto drop = bench::run_pipeline(
+      queue_model(producer_period, consumer_sep, size, false), "R.impl",
+      topts);
+  std::printf("%-11s %6d %16s %10llu %16s %10llu\n", regime, size,
+              err.explored.schedulable() ? "ok" : "overflow",
+              static_cast<unsigned long long>(err.explored.states),
+              drop.explored.schedulable() ? "ok" : "violation",
+              static_cast<unsigned long long>(drop.explored.states));
+}
+
+void print_table() {
+  bench::print_header("E5: Queue_Size and Overflow_Handling_Protocol (§4.4)",
+                      "overloaded arrivals overflow every finite queue "
+                      "under Error (later for larger queues); DropNewest "
+                      "sheds; balanced arrivals need only size 1");
+  std::printf("%-11s %6s %16s %10s %16s %10s\n", "regime", "size",
+              "Error verdict", "states", "Drop verdict", "states");
+  for (int size : {1, 2, 4})
+    row("overloaded", /*producer=*/2, /*separation=*/4, size);
+  for (int size : {1, 2, 4})
+    row("balanced", /*producer=*/4, /*separation=*/4, size);
+  std::printf("\n");
+}
+
+void BM_QueueSizeDrop(benchmark::State& state) {
+  const std::string src =
+      queue_model(2, 4, static_cast<int>(state.range(0)), false);
+  translate::TranslateOptions topts;
+  topts.quantum_ns = 1'000'000;
+  std::uint64_t states = 0;
+  for (auto _ : state) {
+    const auto r = bench::run_pipeline(src, "R.impl", topts);
+    states = r.explored.states;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["states"] = static_cast<double>(states);
+}
+BENCHMARK(BM_QueueSizeDrop)->Arg(1)->Arg(2)->Arg(4);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,137 @@
+// E7 — exploration cost and the design-choice ablations of DESIGN.md §6:
+//   * states and wall time vs number of threads (the scaling the paper's
+//     future-work section worries about);
+//   * successor-fan memoization on/off;
+//   * ordered instants (canonical dispatch ordering) on/off.
+#include <chrono>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace aadlsched;
+
+sched::TaskSet n_tasks(std::size_t n) {
+  // Harmonic-ish periods, utilization ~0.75, deterministic.
+  sched::TaskSet ts;
+  const sched::Time periods[] = {4, 8, 8, 16, 16, 16, 16, 32};
+  for (std::size_t i = 0; i < n; ++i) {
+    sched::Task t;
+    t.name = "t" + std::to_string(i);
+    t.period = t.deadline = periods[i % 8];
+    t.wcet = t.bcet = std::max<sched::Time>(1, t.period / 8);
+    ts.tasks.push_back(t);
+  }
+  sched::assign_rate_monotonic(ts);
+  return ts;
+}
+
+struct Run {
+  std::uint64_t states = 0;
+  std::uint64_t computed = 0;
+  std::uint64_t memo_hits = 0;
+  double ms = 0;
+  bool schedulable = false;
+};
+
+Run run_once(const sched::TaskSet& ts, bool memoize, bool ordered) {
+  Run out;
+  util::DiagnosticEngine diags;
+  aadl::Model model;
+  const std::string src =
+      core::taskset_to_aadl(ts, sched::SchedulingPolicy::FixedPriority);
+  aadl::parse_aadl(model, src, diags);
+  auto inst = aadl::instantiate(model, "Root.impl", diags);
+  acsr::Context ctx;
+  translate::TranslateOptions topts;
+  topts.quantum_ns = 1'000'000;
+  topts.ordered_instants = ordered;
+  auto tr = translate::translate(ctx, *inst, diags, topts);
+  if (!tr) return out;
+  acsr::Semantics sem(ctx, memoize);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto r = versa::explore(sem, tr->initial);
+  out.ms = std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+               .count();
+  out.states = r.states;
+  out.computed = sem.stats().computed;
+  out.memo_hits = sem.stats().memo_hits;
+  out.schedulable = r.schedulable();
+  return out;
+}
+
+void print_table() {
+  bench::print_header("E7: exploration scaling and ablations",
+                      "states grow with thread count; memoization and "
+                      "ordered instants are the two big levers");
+  std::printf("scaling (RM, U~0.75, harmonic periods):\n");
+  std::printf("%8s %10s %12s %10s\n", "threads", "states", "time_ms",
+              "verdict");
+  for (std::size_t n : {2u, 4u, 6u, 8u}) {
+    const Run r = run_once(n_tasks(n), true, true);
+    std::printf("%8zu %10llu %12.2f %10s\n", n,
+                static_cast<unsigned long long>(r.states), r.ms,
+                r.schedulable ? "ok" : "miss");
+  }
+
+  std::printf("\nablation (6 threads):\n");
+  std::printf("%-28s %10s %12s %12s %10s\n", "variant", "states",
+              "fan_comps", "memo_hits", "time_ms");
+  const sched::TaskSet ts = n_tasks(6);
+  const struct {
+    const char* name;
+    bool memo;
+    bool ordered;
+  } variants[] = {
+      {"memo + ordered (default)", true, true},
+      {"no memoization", false, true},
+      {"no ordered instants", true, false},
+      {"neither", false, false},
+  };
+  for (const auto& v : variants) {
+    const Run r = run_once(ts, v.memo, v.ordered);
+    std::printf("%-28s %10llu %12llu %12llu %10.2f\n", v.name,
+                static_cast<unsigned long long>(r.states),
+                static_cast<unsigned long long>(r.computed),
+                static_cast<unsigned long long>(r.memo_hits), r.ms);
+  }
+  std::printf("\n");
+}
+
+void BM_Scaling(benchmark::State& state) {
+  const sched::TaskSet ts = n_tasks(static_cast<std::size_t>(state.range(0)));
+  std::uint64_t states = 0;
+  for (auto _ : state) {
+    const Run r = run_once(ts, true, true);
+    states = r.states;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["states"] = static_cast<double>(states);
+}
+BENCHMARK(BM_Scaling)->Arg(2)->Arg(4)->Arg(6);
+
+void BM_NoMemoization(benchmark::State& state) {
+  const sched::TaskSet ts = n_tasks(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_once(ts, false, true));
+  }
+}
+BENCHMARK(BM_NoMemoization);
+
+void BM_WithMemoization(benchmark::State& state) {
+  const sched::TaskSet ts = n_tasks(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_once(ts, true, true));
+  }
+}
+BENCHMARK(BM_WithMemoization);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

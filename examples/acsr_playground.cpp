@@ -1,0 +1,84 @@
+// ACSR playground: builds the paper's Figure 2/3 processes directly
+// against the process-algebra API, prints the full labelled transition
+// system of the composition, and replays the preemption story of §3.
+//
+// Also demonstrates the textual frontend: the same system is given in the
+// VERSA-flavoured concrete syntax and parsed back.
+#include <iostream>
+
+#include "acsr/builder.hpp"
+#include "acsr/parser.hpp"
+#include "acsr/printer.hpp"
+#include "acsr/semantics.hpp"
+#include "versa/explorer.hpp"
+
+using namespace aadlsched;
+using namespace aadlsched::acsr;
+
+namespace {
+
+void print_lts(Context& ctx, Semantics& sem, TermId initial) {
+  const versa::Lts lts = versa::build_lts(sem, initial, 200);
+  Printer printer(ctx);
+  for (std::size_t i = 0; i < lts.states.size(); ++i) {
+    std::cout << "  s" << i << " = " << printer.ground_term(lts.states[i])
+              << "\n";
+    for (const Transition& tr : lts.edges[i]) {
+      std::cout << "      --" << render_label(ctx, tr.label) << "--> s"
+                << lts.index.at(tr.target) << "\n";
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  Context ctx;
+  Builder b(ctx);
+  Semantics sem(ctx);
+
+  std::cout << "== Figure 2: the Simple process ==\n";
+  b.def("Simple",  {},
+        b.pick({b.act({{"cpu", b.c(1)}}, b.call("Simple1")),
+                b.idle(b.call("Simple"))}));
+  b.def("Simple1", {},
+        b.pick({b.act({{"cpu", b.c(1)}, {"bus", b.c(1)}}, b.call("Simple2")),
+                b.idle(b.call("Simple1"))}));
+  b.def("Simple2", {}, b.send("done", b.c(1), b.call("Simple")));
+  Printer printer(ctx);
+  std::cout << printer.module();
+
+  std::cout << "\n== Figure 3: composed with SimpleDriver ==\n";
+  b.def("Driver",  {}, b.act({{"bus", b.c(2)}}, b.call("Driver1")));
+  b.def("Driver1", {}, b.act({{"bus", b.c(2)}}, b.call("Driver2")));
+  b.def("Driver2", {}, b.idle(b.call("Driver2")));
+  const TermId sys =
+      ctx.terms().parallel({b.start("Simple"), b.start("Driver")});
+  std::cout << "prioritized transition system (driver preempts the bus for "
+               "one quantum):\n";
+  print_lts(ctx, sem, sys);
+
+  std::cout << "\n== The same story in concrete syntax ==\n";
+  const char* text = R"(
+    P = {(cpu,1)} : {(cpu,1),(bus,1)} : (done!,1) . P
+    Q = {(bus,2)} : {(bus,2)} : Qidle
+    Qidle = {} : Qidle
+    Sys = P || Q
+  )";
+  Context ctx2;
+  util::DiagnosticEngine diags("playground.acsr");
+  if (!parse_module(ctx2, text, diags)) {
+    std::cerr << diags.render_all();
+    return 1;
+  }
+  Builder b2(ctx2);
+  Semantics sem2(ctx2);
+  // Without idling steps P deadlocks when the driver holds the bus — the
+  // exhaustive exploration finds it (Fig. 2a vs 2b).
+  const auto r = versa::explore(sem2, b2.start("Sys"));
+  std::cout << "without idling steps: "
+            << (r.deadlock_found ? "deadlocks (as §3 explains)"
+                                 : "no deadlock")
+            << " after " << r.states << " states\n";
+  return 0;
+}

@@ -1,0 +1,96 @@
+// AADL instantiation: declarative model -> instance model.
+//
+// Implements the paper's preconditions (§4.1): the system must be
+// completely instantiated and bound. Starting from a root system
+// implementation we build the component instance tree, resolve *semantic
+// connections* (ultimate source -> ultimate destination through the
+// component hierarchy, §2), resolve processor bindings
+// (Actual_Processor_Binding, inherited by threads from their enclosing
+// process) and connection-to-bus bindings (Actual_Connection_Binding).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "aadl/ast.hpp"
+#include "util/diagnostics.hpp"
+
+namespace aadlsched::aadl {
+
+struct ComponentInstance {
+  Category category = Category::System;
+  std::string name;  // lowercased subcomponent name ("" for the root)
+  std::string path;  // dotted instance path from the root, e.g. "hci.refspeed"
+  const ComponentType* type = nullptr;  // may be null (unresolved classifier)
+  const ComponentImpl* impl = nullptr;  // may be null (type-only classifier)
+  ComponentInstance* parent = nullptr;
+  std::vector<std::unique_ptr<ComponentInstance>> children;
+
+  const ComponentInstance* find_child(std::string_view lowered) const;
+  ComponentInstance* find_child(std::string_view lowered);
+  /// Resolve a dotted path relative to this instance.
+  const ComponentInstance* resolve(
+      const std::vector<std::string>& path) const;
+  bool is_thread_or_device() const {
+    return category == Category::Thread || category == Category::Device;
+  }
+};
+
+/// One fully resolved semantic connection (§2): thread/device ultimate
+/// source to thread/device ultimate destination, with the chain of
+/// syntactic connections it traverses.
+struct SemanticConnection {
+  const ComponentInstance* source = nullptr;
+  std::string source_port;  // lowercased feature name
+  const ComponentInstance* destination = nullptr;
+  std::string destination_port;
+  FeatureKind kind = FeatureKind::DataPort;
+  std::vector<std::string> via;  // names of the syntactic connections
+  const ComponentInstance* bus = nullptr;  // Actual_Connection_Binding
+
+  std::string describe() const;
+};
+
+struct InstanceModel {
+  std::unique_ptr<ComponentInstance> root;
+  std::vector<ComponentInstance*> threads;
+  std::vector<ComponentInstance*> processors;
+  std::vector<ComponentInstance*> buses;
+  std::vector<ComponentInstance*> devices;
+  std::vector<ComponentInstance*> data_components;
+  std::vector<SemanticConnection> connections;
+  /// thread instance -> processor instance (paper precondition 1).
+  std::map<const ComponentInstance*, const ComponentInstance*> bindings;
+
+  const ComponentInstance* find(std::string_view dotted_path) const;
+  /// Threads bound to the given processor.
+  std::vector<const ComponentInstance*> threads_on(
+      const ComponentInstance* processor) const;
+};
+
+/// Property lookup on an instance: nearest enclosing association wins.
+/// Searches, in order: `applies to` associations on ancestors whose path
+/// matches this instance, then the instance's own implementation and type
+/// properties (implementation overrides type). Returns nullptr if absent.
+const PropertyValue* find_property(const InstanceModel& model,
+                                   const ComponentInstance& inst,
+                                   std::string_view lowered_name);
+
+/// Property attached to a semantic connection (searched on the syntactic
+/// connections' `applies to` associations along the chain, e.g.
+/// Queue_Size / Overflow_Handling_Protocol / Urgency on the last port or
+/// connection).
+const PropertyValue* find_connection_property(
+    const InstanceModel& model, const SemanticConnection& conn,
+    std::string_view lowered_name);
+
+/// Instantiate `root_impl` ("type.impl", lowercased or not). Reports
+/// structural errors to diags; returns nullptr on fatal failure.
+std::unique_ptr<InstanceModel> instantiate(const Model& model,
+                                           std::string_view root_impl,
+                                           util::DiagnosticEngine& diags);
+
+}  // namespace aadlsched::aadl

@@ -1,0 +1,175 @@
+#include "aadl/lexer.hpp"
+
+#include <cctype>
+#include <string>
+
+namespace aadlsched::aadl {
+
+namespace {
+
+class LexerImpl {
+ public:
+  LexerImpl(std::string_view src, util::DiagnosticEngine& diags)
+      : src_(src), diags_(diags) {}
+
+  std::vector<AadlToken> run() {
+    std::vector<AadlToken> out;
+    while (true) {
+      AadlToken t = next();
+      out.push_back(t);
+      if (t.kind == TokKind::End) break;
+    }
+    return out;
+  }
+
+ private:
+  char peek(std::size_t k = 0) const {
+    return pos_ + k < src_.size() ? src_[pos_ + k] : '\0';
+  }
+
+  char advance() {
+    const char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+
+  void skip_trivia() {
+    while (pos_ < src_.size()) {
+      const char c = peek();
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+        advance();
+      } else if (c == '-' && peek(1) == '-') {
+        while (pos_ < src_.size() && peek() != '\n') advance();
+      } else {
+        break;
+      }
+    }
+  }
+
+  AadlToken next() {
+    skip_trivia();
+    AadlToken t;
+    t.loc = {line_, col_};
+    if (pos_ >= src_.size()) return t;
+    const std::size_t start = pos_;
+    const char c = advance();
+    switch (c) {
+      case ':':
+        t.kind = peek() == ':' ? (advance(), TokKind::ColonColon)
+                               : TokKind::Colon;
+        break;
+      case ';': t.kind = TokKind::Semicolon; break;
+      case ',': t.kind = TokKind::Comma; break;
+      case '(': t.kind = TokKind::LParen; break;
+      case ')': t.kind = TokKind::RParen; break;
+      case '{': t.kind = TokKind::LBrace; break;
+      case '}': t.kind = TokKind::RBrace; break;
+      case '[': t.kind = TokKind::LBracket; break;
+      case ']': t.kind = TokKind::RBracket; break;
+      case '*': t.kind = TokKind::Star; break;
+      case '+':
+        if (peek() == '=' && peek(1) == '>') {
+          advance();
+          advance();
+          t.kind = TokKind::AppendAssoc;
+        } else {
+          t.kind = TokKind::Plus;
+        }
+        break;
+      case '=':
+        if (peek() == '>') {
+          advance();
+          t.kind = TokKind::Assoc;
+        } else {
+          diags_.error(t.loc, "stray '=' (did you mean '=>'?)");
+          return next();
+        }
+        break;
+      case '-':
+        if (peek() == '>') {
+          advance();
+          t.kind = TokKind::Arrow;
+        } else {
+          t.kind = TokKind::Minus;
+        }
+        break;
+      case '<':
+        if (peek() == '-' && peek(1) == '>') {
+          advance();
+          advance();
+          t.kind = TokKind::BiArrow;
+        } else {
+          diags_.error(t.loc, "stray '<' (did you mean '<->'?)");
+          return next();
+        }
+        break;
+      case '.':
+        t.kind = peek() == '.' ? (advance(), TokKind::DotDot) : TokKind::Dot;
+        break;
+      case '"': {
+        while (pos_ < src_.size() && peek() != '"') advance();
+        if (pos_ >= src_.size()) {
+          diags_.error(t.loc, "unterminated string literal");
+        } else {
+          advance();  // closing quote
+        }
+        t.kind = TokKind::String;
+        break;
+      }
+      default:
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+          std::int64_t v = c - '0';
+          while (std::isdigit(static_cast<unsigned char>(peek())))
+            v = v * 10 + (advance() - '0');
+          // A real literal has a single '.' followed by a digit (leave ".."
+          // alone — it is a range operator).
+          if (peek() == '.' &&
+              std::isdigit(static_cast<unsigned char>(peek(1)))) {
+            advance();
+            double frac = 0.0, scale = 0.1;
+            while (std::isdigit(static_cast<unsigned char>(peek()))) {
+              frac += (advance() - '0') * scale;
+              scale *= 0.1;
+            }
+            t.kind = TokKind::Real;
+            t.real_value = static_cast<double>(v) + frac;
+          } else {
+            t.kind = TokKind::Integer;
+            t.int_value = v;
+          }
+        } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+          while (std::isalnum(static_cast<unsigned char>(peek())) ||
+                 peek() == '_')
+            advance();
+          t.kind = TokKind::Ident;
+        } else {
+          diags_.error(t.loc,
+                       std::string("unexpected character '") + c + "'");
+          return next();
+        }
+        break;
+    }
+    t.text = src_.substr(start, pos_ - start);
+    return t;
+  }
+
+  std::string_view src_;
+  util::DiagnosticEngine& diags_;
+  std::size_t pos_ = 0;
+  std::uint32_t line_ = 1;
+  std::uint32_t col_ = 1;
+};
+
+}  // namespace
+
+std::vector<AadlToken> lex(std::string_view source,
+                           util::DiagnosticEngine& diags) {
+  return LexerImpl(source, diags).run();
+}
+
+}  // namespace aadlsched::aadl

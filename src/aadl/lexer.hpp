@@ -1,0 +1,55 @@
+// Lexer for the AADL textual syntax. AADL comments run from "--" to end of
+// line; identifiers are case-insensitive (we keep the original spelling and
+// compare lowercased); numbers may carry unit identifiers which are lexed
+// as separate Ident tokens.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "util/diagnostics.hpp"
+
+namespace aadlsched::aadl {
+
+enum class TokKind : std::uint8_t {
+  End,
+  Ident,
+  Integer,
+  Real,
+  String,
+  ColonColon,  // ::
+  Arrow,       // ->
+  BiArrow,     // <->
+  Assoc,       // =>
+  AppendAssoc, // +=>
+  DotDot,      // ..
+  Dot,
+  Colon,
+  Semicolon,
+  Comma,
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Plus,
+  Minus,
+  Star,
+};
+
+struct AadlToken {
+  TokKind kind = TokKind::End;
+  std::string_view text;
+  std::int64_t int_value = 0;
+  double real_value = 0.0;
+  util::SourceLoc loc;
+};
+
+/// Tokenize the whole buffer. Lexical errors are reported to `diags`;
+/// offending characters are skipped so parsing can continue.
+std::vector<AadlToken> lex(std::string_view source,
+                           util::DiagnosticEngine& diags);
+
+}  // namespace aadlsched::aadl

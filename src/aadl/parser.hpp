@@ -1,0 +1,21 @@
+// Recursive-descent parser for the AADL textual subset (see ast.hpp).
+//
+// Error recovery is per-declaration: a malformed clause skips to the next
+// ';' and parsing continues, so one mistake yields one diagnostic instead
+// of a cascade.
+#pragma once
+
+#include <string_view>
+
+#include "aadl/ast.hpp"
+#include "util/diagnostics.hpp"
+
+namespace aadlsched::aadl {
+
+/// Parse AADL source text into `model` (packages accumulate across calls,
+/// so multi-file models are supported by parsing each file in turn).
+/// Returns false when any error was reported.
+bool parse_aadl(Model& model, std::string_view source,
+                util::DiagnosticEngine& diags);
+
+}  // namespace aadlsched::aadl

@@ -1,0 +1,66 @@
+// Fundamental id types of the ACSR core.
+//
+// Everything the exploration loop touches is a dense 32-bit id into an
+// interning table owned by acsr::Context: terms, actions, expressions,
+// process definitions, resource/event names. Structural equality of process
+// terms is id equality (hash-consing), which is what makes exhaustive
+// state-space exploration tractable.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "util/interner.hpp"
+
+namespace aadlsched::acsr {
+
+/// Ground (fully instantiated) process term. TermId 0 is NIL, the deadlocked
+/// process with no transitions.
+using TermId = std::uint32_t;
+inline constexpr TermId kNil = 0;
+inline constexpr TermId kInvalidTerm =
+    std::numeric_limits<TermId>::max();
+
+/// Open (parameterized) term inside a process definition body.
+using OpenTermId = std::uint32_t;
+inline constexpr OpenTermId kInvalidOpenTerm =
+    std::numeric_limits<OpenTermId>::max();
+
+/// Arithmetic expression over definition parameters.
+using ExprId = std::uint32_t;
+/// Boolean guard over definition parameters.
+using CondId = std::uint32_t;
+inline constexpr CondId kCondTrue = 0;
+
+/// Interned ground action: a sorted set of (resource, priority) pairs.
+/// ActionId 0 is the empty (idling) action.
+using ActionId = std::uint32_t;
+inline constexpr ActionId kIdleAction = 0;
+
+/// Interned sorted set of event labels (used by the restriction operator).
+using EventSetId = std::uint32_t;
+
+/// Process definition (name, parameters, body).
+using DefId = std::uint32_t;
+inline constexpr DefId kInvalidDef =
+    std::numeric_limits<DefId>::max();
+
+/// Resource and event names; separate interners in Context, both Symbols.
+using Resource = util::Symbol;
+using Event = util::Symbol;
+
+/// Evaluated priority of a resource access or event offer. Priorities are
+/// non-negative; the preemption relation treats an absent resource as
+/// priority 0.
+using Priority = std::int32_t;
+
+/// Parameter value of a parameterized process. The AADL translation only
+/// produces bounded parameters (elapsed time <= deadline, queue depth <=
+/// queue size), which keeps the reachable state space finite.
+using ParamValue = std::int32_t;
+
+/// Scope timeout value; kInfiniteTime means the scope never times out.
+using TimeValue = std::int32_t;
+inline constexpr TimeValue kInfiniteTime = -1;
+
+}  // namespace aadlsched::acsr

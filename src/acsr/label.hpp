@@ -1,0 +1,70 @@
+// Transition labels of the ACSR operational semantics.
+//
+// A step is either a timed action (one scheduling quantum, a set of resource
+// accesses), an instantaneous event offer (send/receive), or an internal tau
+// step produced by CCS-style synchronization of a matching send/receive
+// pair. A tau remembers the label it synchronized on so traces can print
+// "tau@dispatch_hci_refspeed" as in the paper (§3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "acsr/ids.hpp"
+
+namespace aadlsched::acsr {
+
+class Context;
+
+struct Label {
+  enum class Kind : std::uint8_t { Action, Event, Tau };
+
+  Kind kind = Kind::Action;
+  ActionId action = kIdleAction;  // Kind::Action
+  Event event = 0;                // Kind::Event label; Kind::Tau sync source
+  bool send = false;              // Kind::Event direction
+  Priority priority = 0;          // Kind::Event / Kind::Tau
+
+  static Label make_action(ActionId a) {
+    Label l;
+    l.kind = Kind::Action;
+    l.action = a;
+    return l;
+  }
+  static Label make_event(Event e, bool send, Priority p) {
+    Label l;
+    l.kind = Kind::Event;
+    l.event = e;
+    l.send = send;
+    l.priority = p;
+    return l;
+  }
+  static Label make_tau(Event source, Priority p) {
+    Label l;
+    l.kind = Kind::Tau;
+    l.event = source;
+    l.priority = p;
+    return l;
+  }
+
+  bool is_timed() const { return kind == Kind::Action; }
+
+  friend bool operator==(const Label&, const Label&) = default;
+};
+
+/// A single transition of the (prioritized or unprioritized) relation.
+struct Transition {
+  Label label;
+  TermId target = kNil;
+
+  friend bool operator==(const Transition&, const Transition&) = default;
+};
+
+/// Human-readable label, e.g. "{(bus,1),(cpu,3)}", "done!:1", "tau@done:2".
+/// Resource uses are rendered in name order.
+std::string render_label(const Context& ctx, const Label& label);
+
+/// Render just a timed action.
+std::string render_action(const Context& ctx, ActionId action);
+
+}  // namespace aadlsched::acsr

@@ -1,0 +1,85 @@
+// Open terms: the bodies of parameterized process definitions.
+//
+// Open terms may reference definition parameters through expressions
+// (priorities, timeouts, call arguments) and guards (Cond nodes). They are
+// built once — by the AADL translator or by tests/examples through the
+// Builder — and instantiated to ground terms on demand when a definition
+// call is unfolded during exploration.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "acsr/ids.hpp"
+
+namespace aadlsched::acsr {
+
+enum class OpenKind : std::uint8_t {
+  Nil,
+  Act,
+  Evt,
+  Choice,
+  Parallel,
+  Restrict,
+  Scope,
+  Call,
+  Cond,  // guard: behaves as its body when the guard holds, NIL otherwise
+};
+
+/// One resource access with a priority that may depend on parameters. This
+/// is where the EDF/LLF encodings of §5 live.
+struct OpenResourceUse {
+  Resource resource = 0;
+  ExprId priority = 0;
+};
+
+struct OpenTermNode {
+  OpenKind kind = OpenKind::Nil;
+
+  // Act
+  std::vector<OpenResourceUse> action;
+  // Evt
+  Event event = 0;
+  bool send = false;
+  ExprId priority = 0;
+  // Act / Evt continuation; Restrict / Scope / Cond body
+  OpenTermId cont = kInvalidOpenTerm;
+  // Choice / Parallel
+  std::vector<OpenTermId> children;
+  // Restrict
+  std::vector<Event> restricted;
+  // Scope
+  ExprId timeout = 0;  // evaluated; negative result = no timeout
+  Event exception_label = 0;
+  OpenTermId exception_cont = kInvalidOpenTerm;
+  OpenTermId interrupt_handler = kInvalidOpenTerm;
+  OpenTermId timeout_handler = kInvalidOpenTerm;
+  // Call
+  DefId def = kInvalidDef;
+  std::vector<ExprId> args;
+  // Cond
+  CondId guard = kCondTrue;
+};
+
+/// What a definition represents at the AADL level; drives trace lift-back.
+enum class DefRole : std::uint8_t {
+  Generic,      // hand-built process (tests, playground)
+  ThreadState,  // a state of a thread's semantic automaton (Fig. 4/5)
+  Dispatcher,   // dispatcher process (Fig. 6)
+  Queue,        // connection queue process (§4.4)
+  Observer,     // end-to-end latency observer (§5)
+};
+
+struct Definition {
+  std::string name;                      // unique process name
+  std::vector<std::string> params;       // parameter names
+  OpenTermId body = kInvalidOpenTerm;
+
+  // Lift-back metadata (empty/default for generic processes).
+  DefRole role = DefRole::Generic;
+  std::string aadl_path;    // instance path of the AADL component
+  std::string state_name;   // automaton state, e.g. "Compute"
+};
+
+}  // namespace aadlsched::acsr

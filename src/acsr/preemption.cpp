@@ -1,0 +1,47 @@
+#include "acsr/preemption.hpp"
+
+#include <algorithm>
+
+namespace aadlsched::acsr {
+
+bool preempted_by(const ActionTable& actions, const Label& a,
+                  const Label& b) {
+  using K = Label::Kind;
+  switch (a.kind) {
+    case K::Action:
+      if (b.kind == K::Action)
+        return actions.preempts(a.action, b.action);
+      if (b.kind == K::Tau) return b.priority > 0;
+      return false;
+    case K::Event:
+      return b.kind == K::Event && a.event == b.event && a.send == b.send &&
+             b.priority > a.priority;
+    case K::Tau:
+      return b.kind == K::Tau && b.priority > a.priority;
+  }
+  return false;
+}
+
+void prioritize(const ActionTable& actions, std::vector<Transition>& ts) {
+  // O(n^2) pairwise check; transition fans are small (tens) in practice.
+  // A transition is kept iff nothing in the *full* set preempts it (the
+  // relation is applied against all siblings, including ones that are
+  // themselves preempted; preemption chains are consistent because the
+  // underlying orders are transitive).
+  std::vector<bool> dead(ts.size(), false);
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    for (std::size_t j = 0; j < ts.size(); ++j) {
+      if (i == j) continue;
+      if (preempted_by(actions, ts[i].label, ts[j].label)) {
+        dead[i] = true;
+        break;
+      }
+    }
+  }
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < ts.size(); ++i)
+    if (!dead[i]) ts[w++] = ts[i];
+  ts.resize(w);
+}
+
+}  // namespace aadlsched::acsr

@@ -1,0 +1,35 @@
+// Pretty-printer for ACSR definitions and ground terms.
+//
+// The concrete syntax is VERSA-flavoured:
+//
+//   Compute[e, t] =
+//       (e < 4) -> {(cpu,3)} : Compute[e + 1, t + 1]
+//     + (e >= 2) -> (done!,1) . AwaitDispatch
+//
+// The same syntax is accepted back by acsr::Parser (round-trip tested), so
+// a translated AADL model can be dumped, inspected and re-analyzed exactly
+// like the paper's OSATE plugin emits VERSA input.
+#pragma once
+
+#include <string>
+
+#include "acsr/context.hpp"
+
+namespace aadlsched::acsr {
+
+class Printer {
+ public:
+  explicit Printer(const Context& ctx) : ctx_(ctx) {}
+
+  std::string open_term(OpenTermId id,
+                        std::span<const std::string> params) const;
+  std::string ground_term(TermId id) const;
+  std::string definition(DefId id) const;
+  /// Every definition in the context, in definition order.
+  std::string module() const;
+
+ private:
+  const Context& ctx_;
+};
+
+}  // namespace aadlsched::acsr

@@ -1,0 +1,66 @@
+// Operational semantics of ground ACSR terms.
+//
+// transitions() implements the unprioritized relation:
+//   Act:      A:P            --A-->    P
+//   Evt:      (e!,p).P       --e!,p--> P             (likewise e?)
+//   Choice:   union of the summands' transitions
+//   Parallel: events interleave (Par1/Par2); matching send/receive pairs
+//             synchronize into tau with the sum of the priorities (Par4);
+//             timed actions of *all* components combine into one global
+//             action when their resource sets are pairwise disjoint (Par3 —
+//             time is global, nobody is left behind)
+//   Restrict: blocks restricted events from crossing, forcing partners to
+//             synchronize inside; taus and timed actions pass
+//   Scope:    timed steps of the body decrement the remaining time (hitting
+//             0 yields the timeout handler); body events pass without
+//             consuming time; the exception label exits to the exception
+//             continuation; an interrupt handler's initial transitions stay
+//             enabled throughout (§3)
+//   Call:     transitions of the memoized unfolding of the definition
+//
+// prioritized() applies the preemption relation of preemption.hpp on top —
+// that is the relation the explorer walks, and the one for which
+// "deadlock <=> missed deadline" holds for translated AADL models (§5).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "acsr/context.hpp"
+#include "acsr/label.hpp"
+
+namespace aadlsched::acsr {
+
+class Semantics {
+ public:
+  struct Stats {
+    std::uint64_t computed = 0;   // states whose fan was computed
+    std::uint64_t memo_hits = 0;  // fan served from the memo table
+  };
+
+  /// memoize=false exists only for the ablation bench; exploration with it
+  /// is identical but recomputes every fan.
+  explicit Semantics(Context& ctx, bool memoize = true)
+      : ctx_(ctx), memoize_(memoize) {}
+
+  /// Unprioritized transition fan (copy; safe across further calls).
+  std::vector<Transition> transitions(TermId t);
+
+  /// Prioritized fan: unprioritized minus preempted transitions.
+  std::vector<Transition> prioritized(TermId t);
+
+  const Stats& stats() const { return stats_; }
+  Context& context() { return ctx_; }
+
+ private:
+  std::vector<Transition> compute(TermId t);
+  void parallel_transitions(TermId t, std::vector<Transition>& out);
+
+  Context& ctx_;
+  bool memoize_;
+  Stats stats_;
+  std::unordered_map<TermId, std::vector<Transition>> memo_;
+};
+
+}  // namespace aadlsched::acsr

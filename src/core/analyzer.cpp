@@ -1,0 +1,280 @@
+#include "core/analyzer.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "aadl/parser.hpp"
+#include "acsr/printer.hpp"
+#include "acsr/semantics.hpp"
+#include "versa/inspection.hpp"
+#include "util/string_utils.hpp"
+
+namespace aadlsched::core {
+
+namespace {
+
+struct ThreadView {
+  std::string path;
+  std::int64_t cmin = 0;
+  std::int64_t deadline = 0;
+  // Rolling status while walking the trace.
+  bool in_compute = false;
+  acsr::ParamValue last_e = 0;
+};
+
+/// Interpret one event/tau label in AADL terms.
+std::string describe_event(const acsr::Context& ctx,
+                           const translate::Translation& tr,
+                           const acsr::Label& label) {
+  const std::string& name = ctx.event_name(label.event);
+  const auto thread_of = [&](std::string_view prefix) -> std::string {
+    const std::string mangled(name.substr(prefix.size()));
+    for (const translate::TranslatedThread& t : tr.threads)
+      if (t.mangled == mangled) return t.path;
+    return mangled;
+  };
+  const auto queue_of = [&](std::string_view prefix) -> std::string {
+    const std::string mangled(name.substr(prefix.size()));
+    for (const translate::TranslatedQueue& q : tr.queues)
+      if (q.mangled == mangled) return q.connection;
+    return mangled;
+  };
+  if (util::starts_with(name, "dispatch_"))
+    return "dispatch of " + thread_of("dispatch_");
+  if (util::starts_with(name, "done_"))
+    return "completion of " + thread_of("done_");
+  if (util::starts_with(name, "enq_"))
+    return "event queued on " + queue_of("enq_");
+  if (util::starts_with(name, "deq_"))
+    return "event consumed from " + queue_of("deq_");
+  return "event " + name;
+}
+
+FailingScenario lift_back(acsr::Context& ctx,
+                          const translate::Translation& tr,
+                          const versa::ExploreResult& er) {
+  FailingScenario fs;
+
+  std::vector<ThreadView> views;
+  for (const translate::TranslatedThread& t : tr.threads)
+    views.push_back(ThreadView{t.path, t.cmin, t.deadline, false, 0});
+
+  std::vector<std::string> rows(views.size());
+
+  const auto absorb_state = [&](acsr::TermId state, bool quantum_passed) {
+    const auto comps = versa::inspect(ctx, state);
+    for (std::size_t i = 0; i < views.size(); ++i) {
+      ThreadView& v = views[i];
+      const versa::ComponentState* cs = nullptr;
+      for (const auto& c : comps) {
+        if (c.role == acsr::DefRole::ThreadState && c.aadl_path == v.path) {
+          cs = &c;
+          break;
+        }
+      }
+      char cell = static_cast<char>(ThreadQuantum::Idle);
+      if (cs && cs->state_name == "Compute" && !cs->params.empty()) {
+        const acsr::ParamValue e = cs->params[0];
+        if (quantum_passed) {
+          cell = v.in_compute && e == v.last_e
+                     ? static_cast<char>(ThreadQuantum::Preempted)
+                     : static_cast<char>(ThreadQuantum::Running);
+          // A fresh dispatch that already ran its first quantum also shows
+          // as Running (e moved from 0 baseline).
+          if (!v.in_compute && e == 0)
+            cell = static_cast<char>(ThreadQuantum::Preempted);
+        }
+        v.in_compute = true;
+        v.last_e = e;
+      } else {
+        v.in_compute = false;
+        v.last_e = 0;
+      }
+      if (quantum_passed) rows[i].push_back(cell);
+    }
+  };
+
+  absorb_state(er.initial, false);
+
+  std::int64_t quantum = 0;
+  for (const versa::Step& step : er.trace) {
+    switch (step.label.kind) {
+      case acsr::Label::Kind::Action:
+        ++quantum;
+        absorb_state(step.target, true);
+        fs.steps.push_back("quantum " + std::to_string(quantum) + ": " +
+                           render_label(ctx, step.label));
+        break;
+      case acsr::Label::Kind::Tau:
+      case acsr::Label::Kind::Event:
+        absorb_state(step.target, false);
+        fs.steps.push_back("t=" + std::to_string(quantum) + ": " +
+                           describe_event(ctx, tr, step.label));
+        break;
+    }
+  }
+  fs.quanta = quantum;
+  for (std::size_t i = 0; i < views.size(); ++i)
+    fs.timeline.push_back(TimelineRow{views[i].path, rows[i]});
+
+  // Deadline misses in the deadlocked state: a dispatcher stuck in
+  // AwaitDone with its clock at the thread's deadline.
+  const auto comps = versa::inspect(ctx, er.first_deadlock);
+  for (const auto& c : comps) {
+    if (c.role != acsr::DefRole::Dispatcher || c.state_name != "AwaitDone" ||
+        c.params.empty())
+      continue;
+    const translate::TranslatedThread* t = tr.thread_by_path(c.aadl_path);
+    if (t && c.params[0] >= t->deadline)
+      fs.missed_threads.push_back(c.aadl_path);
+  }
+  // Queue overflow under the Error protocol leaves the queue process dead;
+  // surface that as well.
+  for (const auto& c : comps) {
+    if (c.def == acsr::kInvalidDef && c.name == "NIL")
+      fs.missed_threads.push_back("<queue overflow (Error protocol)>");
+  }
+  // Latency observers stuck at their bound (§5).
+  for (const auto& c : comps) {
+    if (c.role != acsr::DefRole::Observer || c.state_name != "LatencyWait" ||
+        c.params.empty())
+      continue;
+    for (const translate::TranslatedObserver& o : tr.observers) {
+      if (o.description == c.aadl_path && c.params[0] >= o.latency)
+        fs.missed_threads.push_back("<latency: " + o.description + ">");
+    }
+  }
+  return fs;
+}
+
+}  // namespace
+
+std::string FailingScenario::render() const {
+  std::ostringstream os;
+  os << "Failing scenario (" << quanta << " quanta";
+  if (!missed_threads.empty()) {
+    os << "; violated: ";
+    for (std::size_t i = 0; i < missed_threads.size(); ++i) {
+      if (i) os << ", ";
+      os << missed_threads[i];
+    }
+  }
+  os << ")\n";
+  std::size_t width = 8;
+  for (const TimelineRow& row : timeline)
+    width = std::max(width, row.thread_path.size() + 1);
+  for (const TimelineRow& row : timeline)
+    os << util::pad_right(row.thread_path, width) << '|' << row.cells
+       << "|\n";
+  os << "  (# running, * preempted, . idle)\n";
+  for (const std::string& s : steps) os << "  " << s << '\n';
+  return os.str();
+}
+
+std::string AnalysisResult::summary() const {
+  std::ostringstream os;
+  if (!ok) {
+    os << "ANALYSIS FAILED\n" << diagnostics;
+    return os.str();
+  }
+  if (schedulable) {
+    os << "SCHEDULABLE — no deadline violation is reachable (" << states
+       << " states, " << transitions << " transitions explored)";
+  } else if (exhaustive) {
+    os << "NOT SCHEDULABLE — deadline violation found (" << states
+       << " states explored)";
+    if (scenario) {
+      os << '\n' << scenario->render();
+    }
+  } else {
+    os << "INCONCLUSIVE — state bound reached after " << states
+       << " states; raise ExploreOptions::max_states";
+  }
+  return os.str();
+}
+
+AnalysisResult analyze_instance(const aadl::InstanceModel& instance,
+                                const AnalyzerOptions& opts) {
+  AnalysisResult result;
+  util::DiagnosticEngine diags("<model>");
+
+  acsr::Context ctx;
+  auto tr = translate::translate(ctx, instance, diags, opts.translation);
+  result.diagnostics = diags.render_all();
+  if (!tr) return result;
+  result.threads = tr->threads;
+
+  acsr::Semantics sem(ctx);
+  const versa::ExploreResult er =
+      versa::explore(sem, tr->initial, opts.exploration);
+  result.states = er.states;
+  result.transitions = er.transitions;
+  result.exhaustive = er.complete;
+  result.schedulable = er.schedulable();
+  result.ok = er.complete;
+  if (er.deadlock_found) result.scenario = lift_back(ctx, *tr, er);
+  return result;
+}
+
+AnalysisResult analyze_source(std::string_view aadl_source,
+                              std::string_view root_impl,
+                              const AnalyzerOptions& opts) {
+  AnalysisResult result;
+  util::DiagnosticEngine diags("<aadl>");
+  aadl::Model model;
+  if (!aadl::parse_aadl(model, aadl_source, diags)) {
+    result.diagnostics = diags.render_all();
+    return result;
+  }
+  auto instance = aadl::instantiate(model, root_impl, diags);
+  if (!instance || diags.has_errors()) {
+    result.diagnostics = diags.render_all();
+    return result;
+  }
+  AnalysisResult r = analyze_instance(*instance, opts);
+  r.diagnostics = diags.render_all() + r.diagnostics;
+  return r;
+}
+
+AnalysisResult analyze_file(const std::string& path,
+                            std::string_view root_impl,
+                            const AnalyzerOptions& opts) {
+  std::ifstream in(path);
+  if (!in) {
+    AnalysisResult result;
+    result.diagnostics = "cannot open '" + path + "'\n";
+    return result;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return analyze_source(buf.str(), root_impl, opts);
+}
+
+std::string render_acsr(std::string_view aadl_source,
+                        std::string_view root_impl, std::string& diagnostics,
+                        const translate::TranslateOptions& opts) {
+  util::DiagnosticEngine diags("<aadl>");
+  aadl::Model model;
+  if (!aadl::parse_aadl(model, aadl_source, diags)) {
+    diagnostics = diags.render_all();
+    return {};
+  }
+  auto instance = aadl::instantiate(model, root_impl, diags);
+  if (!instance || diags.has_errors()) {
+    diagnostics = diags.render_all();
+    return {};
+  }
+  acsr::Context ctx;
+  auto tr = translate::translate(ctx, *instance, diags, opts);
+  diagnostics = diags.render_all();
+  if (!tr) return {};
+  acsr::Printer printer(ctx);
+  std::ostringstream os;
+  os << printer.module();
+  // ACSR comments use '//'; the dump stays parseable by acsr::parse_module.
+  os << "// initial state: " << printer.ground_term(tr->initial) << "\n";
+  return os.str();
+}
+
+}  // namespace aadlsched::core

@@ -1,0 +1,86 @@
+// Top-level API: the role of the paper's OSATE plugin (§5, Implementation).
+//
+// The Analyzer performs the plugin's three steps: (1) translate the AADL
+// model into ACSR, (2) explore the state space looking for deadlocks, and
+// (3) when a deadlock is found, "raise" the failing scenario back to the
+// level of the original AADL model: every step of the trace is re-expressed
+// in terms of AADL components (dispatches, completions, per-thread per-
+// quantum run/preempted status) and rendered as a time line (§5).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "aadl/instance.hpp"
+#include "translate/translator.hpp"
+#include "versa/explorer.hpp"
+
+namespace aadlsched::core {
+
+struct AnalyzerOptions {
+  translate::TranslateOptions translation;
+  versa::ExploreOptions exploration;
+};
+
+/// Per-thread status in one quantum of a failing scenario.
+enum class ThreadQuantum : char {
+  Idle = '.',       // not dispatched (awaiting dispatch / done)
+  Running = '#',    // executed on its processor this quantum
+  Preempted = '*',  // dispatched but did not get the processor
+};
+
+struct TimelineRow {
+  std::string thread_path;
+  std::string cells;  // one ThreadQuantum char per quantum
+};
+
+struct FailingScenario {
+  /// Human-readable steps ("t=3: dispatch of hci.refspeed", "quantum 4:
+  /// ccl.cruise1 runs on cpu_ccl_processor", ...).
+  std::vector<std::string> steps;
+  /// Per-thread ASCII timeline of the failing prefix.
+  std::vector<TimelineRow> timeline;
+  /// Threads whose deadline was violated in the deadlocked state.
+  std::vector<std::string> missed_threads;
+  std::int64_t quanta = 0;  // length of the failing prefix in quanta
+
+  std::string render() const;
+};
+
+struct AnalysisResult {
+  bool ok = false;            // analysis ran to a verdict
+  bool schedulable = false;   // deadlock-free <=> schedulable (§5)
+  bool exhaustive = false;    // full state space explored (or stopped at a
+                              // deadlock, which is conclusive)
+  std::uint64_t states = 0;
+  std::uint64_t transitions = 0;
+  std::optional<FailingScenario> scenario;
+  std::vector<translate::TranslatedThread> threads;
+  std::string diagnostics;  // rendered front-end/translation messages
+
+  std::string summary() const;
+};
+
+/// Analyze a parsed-and-instantiated model.
+AnalysisResult analyze_instance(const aadl::InstanceModel& instance,
+                                const AnalyzerOptions& opts = {});
+
+/// Parse AADL source, instantiate `root_impl`, analyze.
+AnalysisResult analyze_source(std::string_view aadl_source,
+                              std::string_view root_impl,
+                              const AnalyzerOptions& opts = {});
+
+/// Read a file and analyze. Errors land in `diagnostics`.
+AnalysisResult analyze_file(const std::string& path,
+                            std::string_view root_impl,
+                            const AnalyzerOptions& opts = {});
+
+/// Render the translated ACSR module for a model (the paper's "input of the
+/// VERSA tool"); empty string + diagnostics on error.
+std::string render_acsr(std::string_view aadl_source,
+                        std::string_view root_impl, std::string& diagnostics,
+                        const translate::TranslateOptions& opts = {});
+
+}  // namespace aadlsched::core

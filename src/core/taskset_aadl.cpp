@@ -1,0 +1,119 @@
+#include "core/taskset_aadl.hpp"
+
+#include <sstream>
+
+namespace aadlsched::core {
+
+std::string_view protocol_property_name(sched::SchedulingPolicy policy) {
+  switch (policy) {
+    case sched::SchedulingPolicy::FixedPriority:
+      return "POSIX_1003_HIGHEST_PRIORITY_FIRST_PROTOCOL";
+    case sched::SchedulingPolicy::Edf:
+      return "EDF_PROTOCOL";
+    case sched::SchedulingPolicy::Llf:
+      return "LLF_PROTOCOL";
+  }
+  return "RATE_MONOTONIC_PROTOCOL";
+}
+
+std::string taskset_to_aadl(const sched::TaskSet& ts,
+                            sched::SchedulingPolicy policy,
+                            std::int64_t quantum_ns) {
+  std::ostringstream os;
+  const auto ns = [&](sched::Time quanta) {
+    return std::to_string(quanta * quantum_ns) + " ns";
+  };
+
+  int max_cpu = 0;
+  for (const sched::Task& t : ts.tasks)
+    max_cpu = std::max(max_cpu, t.processor);
+
+  os << "package Gen\npublic\n\n";
+  os << "  processor GenCpu\n  properties\n    Scheduling_Protocol => "
+     << protocol_property_name(policy) << ";\n  end GenCpu;\n\n";
+
+  bool any_sporadic = false;
+  for (const sched::Task& t : ts.tasks)
+    any_sporadic |= t.kind == sched::DispatchKind::Sporadic ||
+                    t.kind == sched::DispatchKind::Aperiodic;
+  if (any_sporadic) {
+    os << "  device Env\n  features\n    tick : out event port;\n"
+          "  end Env;\n\n";
+  }
+
+  for (std::size_t i = 0; i < ts.tasks.size(); ++i) {
+    const sched::Task& t = ts.tasks[i];
+    const std::string name = "T" + std::to_string(i);
+    const bool triggered = t.kind == sched::DispatchKind::Sporadic ||
+                           t.kind == sched::DispatchKind::Aperiodic;
+    os << "  thread " << name << "\n";
+    if (triggered)
+      os << "  features\n    trig : in event port;\n";
+    os << "  end " << name << ";\n\n";
+    os << "  thread implementation " << name << ".impl\n  properties\n";
+    switch (t.kind) {
+      case sched::DispatchKind::Periodic:
+        os << "    Dispatch_Protocol => Periodic;\n";
+        os << "    Period => " << ns(t.period) << ";\n";
+        break;
+      case sched::DispatchKind::Sporadic:
+        os << "    Dispatch_Protocol => Sporadic;\n";
+        os << "    Period => " << ns(t.period) << ";\n";
+        break;
+      case sched::DispatchKind::Aperiodic:
+        os << "    Dispatch_Protocol => Aperiodic;\n";
+        break;
+      case sched::DispatchKind::Background:
+        os << "    Dispatch_Protocol => Background;\n";
+        break;
+    }
+    os << "    Compute_Execution_Time => " << ns(t.effective_bcet())
+       << " .. " << ns(t.wcet) << ";\n";
+    if (t.kind != sched::DispatchKind::Background)
+      os << "    Deadline => " << ns(t.deadline) << ";\n";
+    if (policy == sched::SchedulingPolicy::FixedPriority)
+      os << "    Priority => " << t.priority << ";\n";
+    os << "  end " << name << ".impl;\n\n";
+  }
+
+  os << "  system Root\n  end Root;\n\n";
+  os << "  system implementation Root.impl\n  subcomponents\n";
+  for (int c = 0; c <= max_cpu; ++c)
+    os << "    cpu" << c << " : processor GenCpu;\n";
+  for (std::size_t i = 0; i < ts.tasks.size(); ++i)
+    os << "    t" << i << " : thread T" << i << ".impl;\n";
+  // One environment device per triggered task so each queue has a source.
+  for (std::size_t i = 0; i < ts.tasks.size(); ++i) {
+    const sched::Task& t = ts.tasks[i];
+    if (t.kind == sched::DispatchKind::Sporadic ||
+        t.kind == sched::DispatchKind::Aperiodic)
+      os << "    env" << i << " : device Env;\n";
+  }
+  bool any_conn = false;
+  std::ostringstream conns;
+  for (std::size_t i = 0; i < ts.tasks.size(); ++i) {
+    const sched::Task& t = ts.tasks[i];
+    if (t.kind == sched::DispatchKind::Sporadic ||
+        t.kind == sched::DispatchKind::Aperiodic) {
+      conns << "    c" << i << " : port env" << i << ".tick -> t" << i
+            << ".trig;\n";
+      any_conn = true;
+    }
+  }
+  if (any_conn) os << "  connections\n" << conns.str();
+  os << "  properties\n";
+  for (std::size_t i = 0; i < ts.tasks.size(); ++i)
+    os << "    Actual_Processor_Binding => reference (cpu"
+       << ts.tasks[i].processor << ") applies to t" << i << ";\n";
+  // Sporadic environment devices fire at the task's minimum separation.
+  for (std::size_t i = 0; i < ts.tasks.size(); ++i) {
+    const sched::Task& t = ts.tasks[i];
+    if (t.kind == sched::DispatchKind::Sporadic)
+      os << "    Period => " << ns(t.period) << " applies to env" << i
+         << ";\n";
+  }
+  os << "  end Root.impl;\n\nend Gen;\n";
+  return os.str();
+}
+
+}  // namespace aadlsched::core

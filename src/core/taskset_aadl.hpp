@@ -1,0 +1,29 @@
+// Bridge from the classical task model to AADL source text.
+//
+// Renders a sched::TaskSet as a complete, bound AADL system (one processor
+// per Task::processor value, one periodic/sporadic thread per task). This
+// is how the cross-validation experiments (EXPERIMENTS.md E1/E3) drive the
+// full pipeline — parser, instantiation, translation, exploration — from
+// randomly generated workloads, and compare the verdict against RTA, EDF
+// demand analysis and the hyperperiod simulator.
+#pragma once
+
+#include <string>
+
+#include "sched/simulator.hpp"
+#include "sched/task.hpp"
+
+namespace aadlsched::core {
+
+/// Scheduling protocol names accepted by the AADL front end.
+std::string_view protocol_property_name(sched::SchedulingPolicy policy);
+
+/// Render the task set as an AADL package "Gen" with root system
+/// implementation "Gen::Root.impl". Task times are interpreted as
+/// multiples of `quantum_ns`. Sporadic tasks get a device-driven incoming
+/// event connection (the device fires at the task's minimum separation).
+std::string taskset_to_aadl(const sched::TaskSet& ts,
+                            sched::SchedulingPolicy policy,
+                            std::int64_t quantum_ns = 1'000'000);
+
+}  // namespace aadlsched::core

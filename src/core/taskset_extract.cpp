@@ -1,0 +1,113 @@
+#include "core/taskset_extract.hpp"
+
+#include <algorithm>
+
+#include "util/numeric.hpp"
+
+namespace aadlsched::core {
+
+std::optional<ExtractedTaskSet> extract_taskset(
+    const aadl::InstanceModel& model, std::int64_t quantum_ns,
+    util::DiagnosticEngine& diags) {
+  ExtractedTaskSet out;
+
+  const auto to_quanta = [&](std::int64_t ns, bool round_up) {
+    return round_up ? util::ceil_div(ns, quantum_ns) : ns / quantum_ns;
+  };
+
+  const auto processor_index =
+      [&](const aadl::ComponentInstance* cpu) -> std::optional<int> {
+    for (std::size_t i = 0; i < out.processor_paths.size(); ++i)
+      if (out.processor_paths[i] == cpu->path) return static_cast<int>(i);
+    const auto proto = aadl::scheduling_protocol(model, *cpu, diags);
+    if (!proto) return std::nullopt;
+    out.processor_paths.push_back(cpu->path);
+    out.protocols.push_back(*proto);
+    return static_cast<int>(out.processor_paths.size() - 1);
+  };
+
+  for (const aadl::ComponentInstance* thread : model.threads) {
+    const auto binding = model.bindings.find(thread);
+    if (binding == model.bindings.end()) {
+      diags.error({}, "thread '" + thread->path + "' is not bound");
+      return std::nullopt;
+    }
+    const auto props = aadl::thread_properties(model, *thread, diags);
+    if (!props) return std::nullopt;
+    const auto cpu = processor_index(binding->second);
+    if (!cpu) return std::nullopt;
+
+    sched::Task task;
+    task.name = thread->path;
+    task.wcet = to_quanta(props->compute_max_ns, true);
+    task.bcet = std::min<sched::Time>(
+        to_quanta(props->compute_min_ns, false), task.wcet);
+    task.period = to_quanta(props->period_ns, false);
+    task.deadline = to_quanta(props->deadline_ns, false);
+    task.priority = props->priority.value_or(0);
+    task.processor = *cpu;
+    switch (props->dispatch) {
+      case aadl::DispatchProtocol::Periodic:
+        task.kind = sched::DispatchKind::Periodic;
+        break;
+      case aadl::DispatchProtocol::Sporadic:
+        task.kind = sched::DispatchKind::Sporadic;
+        break;
+      case aadl::DispatchProtocol::Aperiodic:
+        task.kind = sched::DispatchKind::Aperiodic;
+        // No arrival bound: the classical view has to pick one; use the
+        // deadline as a (lossy) minimum separation.
+        task.period = task.deadline;
+        out.lossy = true;
+        break;
+      case aadl::DispatchProtocol::Background:
+        task.kind = sched::DispatchKind::Background;
+        break;
+    }
+    out.tasks.tasks.push_back(std::move(task));
+  }
+
+  // Event connections / queues / bus bindings have no classical
+  // counterpart: flag the extraction as lossy.
+  for (const aadl::SemanticConnection& sc : model.connections) {
+    if (sc.bus) out.lossy = true;
+    if (sc.kind == aadl::FeatureKind::EventPort ||
+        sc.kind == aadl::FeatureKind::EventDataPort)
+      out.lossy = true;
+  }
+
+  // Apply the per-processor protocol's priority assignment so RTA and the
+  // simulator see the priorities the translation would use.
+  for (std::size_t cpu = 0; cpu < out.processor_paths.size(); ++cpu) {
+    std::vector<std::size_t> members;
+    for (std::size_t i = 0; i < out.tasks.tasks.size(); ++i)
+      if (out.tasks.tasks[i].processor == static_cast<int>(cpu))
+        members.push_back(i);
+    const auto rank_by = [&](auto key) {
+      std::stable_sort(members.begin(), members.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return key(out.tasks.tasks[a]) <
+                                key(out.tasks.tasks[b]);
+                       });
+      int prio = static_cast<int>(members.size());
+      for (std::size_t idx : members) out.tasks.tasks[idx].priority = prio--;
+    };
+    switch (out.protocols[cpu]) {
+      case aadl::SchedulingProtocol::RateMonotonic:
+        rank_by([](const sched::Task& t) {
+          return t.period > 0 ? t.period : std::int64_t{1} << 40;
+        });
+        break;
+      case aadl::SchedulingProtocol::DeadlineMonotonic:
+        rank_by([](const sched::Task& t) {
+          return t.deadline > 0 ? t.deadline : std::int64_t{1} << 40;
+        });
+        break;
+      default:
+        break;  // HPF keeps declared priorities; EDF/LLF ignore them
+    }
+  }
+  return out;
+}
+
+}  // namespace aadlsched::core

@@ -1,0 +1,172 @@
+#include "sched/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/numeric.hpp"
+
+namespace aadlsched::sched {
+
+double liu_layland_bound(std::size_t n) {
+  if (n == 0) return 1.0;
+  const double nn = static_cast<double>(n);
+  return nn * (std::pow(2.0, 1.0 / nn) - 1.0);
+}
+
+Verdict rm_utilization_test(const TaskSet& ts) {
+  if (!ts.implicit_deadlines()) return Verdict::Unknown;
+  return ts.utilization() <= liu_layland_bound(ts.tasks.size())
+             ? Verdict::Schedulable
+             : Verdict::Unknown;
+}
+
+Verdict hyperbolic_bound_test(const TaskSet& ts) {
+  if (!ts.implicit_deadlines()) return Verdict::Unknown;
+  double prod = 1.0;
+  for (const Task& t : ts.tasks) prod *= t.utilization() + 1.0;
+  return prod <= 2.0 ? Verdict::Schedulable : Verdict::Unknown;
+}
+
+Verdict edf_utilization_test(const TaskSet& ts) {
+  if (!ts.implicit_deadlines()) return Verdict::Unknown;
+  return ts.utilization() <= 1.0 ? Verdict::Schedulable
+                                 : Verdict::Unschedulable;
+}
+
+RtaResult response_time_analysis(const TaskSet& ts,
+                                 const std::vector<Time>* blocking) {
+  RtaResult result;
+  result.response.assign(ts.tasks.size(), -1);
+  result.verdict = Verdict::Schedulable;
+
+  for (std::size_t i = 0; i < ts.tasks.size(); ++i) {
+    const Task& ti = ts.tasks[i];
+    const Time bi = blocking && i < blocking->size() ? (*blocking)[i] : 0;
+    Time r = ti.wcet + bi;
+    bool converged = false;
+    // Fixed-point iteration; diverges past the deadline => miss.
+    for (int iter = 0; iter < 1'000'000; ++iter) {
+      Time next = ti.wcet + bi;
+      for (std::size_t j = 0; j < ts.tasks.size(); ++j) {
+        if (j == i) continue;
+        const Task& tj = ts.tasks[j];
+        // Higher priority interferes; ties broken by index for determinism
+        // (matches the distinct-priority assignment helpers).
+        const bool higher = tj.priority > ti.priority ||
+                            (tj.priority == ti.priority && j < i);
+        if (!higher) continue;
+        next += util::ceil_div(r, tj.period) * tj.wcet;
+      }
+      if (next == r) {
+        converged = true;
+        break;
+      }
+      r = next;
+      if (r > ti.deadline) break;  // already past the deadline
+    }
+    result.response[i] = converged ? r : -1;
+    if (!converged || r > ti.deadline) result.verdict = Verdict::Unschedulable;
+  }
+  return result;
+}
+
+Time demand_bound(const TaskSet& ts, Time t) {
+  Time demand = 0;
+  for (const Task& task : ts.tasks) {
+    if (t < task.deadline) continue;
+    demand += ((t - task.deadline) / task.period + 1) * task.wcet;
+  }
+  return demand;
+}
+
+namespace {
+
+/// Upper bound on the interval lengths that must be checked by processor
+/// demand analysis (min of hyperperiod-based and utilization-based bounds).
+Time demand_check_bound(const TaskSet& ts) {
+  const double u = ts.utilization();
+  Time max_deadline = 0;
+  for (const Task& t : ts.tasks)
+    max_deadline = std::max(max_deadline, t.deadline);
+  Time bound = ts.hyperperiod();
+  if (bound < 0) bound = std::numeric_limits<Time>::max();
+  bound = std::max(bound, max_deadline);
+  if (u < 1.0) {
+    // L_a = max(D_i, sum (T_i - D_i) U_i / (1 - U)).
+    double la = 0.0;
+    for (const Task& t : ts.tasks)
+      la += static_cast<double>(t.period - t.deadline) * t.utilization();
+    la /= (1.0 - u);
+    const Time la_t =
+        static_cast<Time>(std::ceil(std::max(
+            la, static_cast<double>(max_deadline))));
+    bound = std::min(bound, la_t);
+  }
+  return bound;
+}
+
+}  // namespace
+
+EdfResult edf_demand_analysis(const TaskSet& ts) {
+  EdfResult result;
+  if (ts.utilization() > 1.0) {
+    result.verdict = Verdict::Unschedulable;
+    return result;
+  }
+  const Time bound = demand_check_bound(ts);
+  // Check every absolute deadline up to the bound.
+  for (const Task& task : ts.tasks) {
+    for (Time d = task.deadline; d <= bound; d += task.period) {
+      if (demand_bound(ts, d) > d) {
+        result.verdict = Verdict::Unschedulable;
+        result.overflow_point = d;
+        return result;
+      }
+    }
+  }
+  result.verdict = Verdict::Schedulable;
+  return result;
+}
+
+EdfResult edf_qpa(const TaskSet& ts) {
+  EdfResult result;
+  if (ts.tasks.empty()) {
+    result.verdict = Verdict::Schedulable;
+    return result;
+  }
+  if (ts.utilization() > 1.0) {
+    result.verdict = Verdict::Unschedulable;
+    return result;
+  }
+  Time dmin = std::numeric_limits<Time>::max();
+  for (const Task& t : ts.tasks) dmin = std::min(dmin, t.deadline);
+
+  const Time bound = demand_check_bound(ts);
+  // Largest absolute deadline strictly below the bound.
+  const auto last_deadline_before = [&](Time t) {
+    Time best = 0;
+    for (const Task& task : ts.tasks) {
+      if (task.deadline >= t) continue;
+      const Time k = (t - 1 - task.deadline) / task.period;
+      best = std::max(best, task.deadline + k * task.period);
+    }
+    return best;
+  };
+
+  Time t = last_deadline_before(bound + 1);
+  while (t >= dmin && t > 0) {
+    const Time h = demand_bound(ts, t);
+    if (h > t) {
+      result.verdict = Verdict::Unschedulable;
+      result.overflow_point = t;
+      return result;
+    }
+    t = h < t ? h : last_deadline_before(t);
+    if (t < dmin) break;
+  }
+  result.verdict = Verdict::Schedulable;
+  return result;
+}
+
+}  // namespace aadlsched::sched

@@ -1,0 +1,70 @@
+#include "sched/task.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/numeric.hpp"
+
+namespace aadlsched::sched {
+
+double TaskSet::utilization() const {
+  double u = 0.0;
+  for (const Task& t : tasks) u += t.utilization();
+  return u;
+}
+
+TaskSet TaskSet::on_processor(int cpu) const {
+  TaskSet out;
+  for (const Task& t : tasks)
+    if (t.processor == cpu) out.tasks.push_back(t);
+  return out;
+}
+
+bool TaskSet::constrained_deadlines() const {
+  return std::all_of(tasks.begin(), tasks.end(), [](const Task& t) {
+    return t.deadline <= t.period;
+  });
+}
+
+bool TaskSet::implicit_deadlines() const {
+  return std::all_of(tasks.begin(), tasks.end(), [](const Task& t) {
+    return t.deadline == t.period;
+  });
+}
+
+Time TaskSet::hyperperiod() const {
+  std::vector<std::int64_t> periods;
+  periods.reserve(tasks.size());
+  for (const Task& t : tasks) periods.push_back(t.period);
+  const auto h = util::hyperperiod(periods);
+  return h ? *h : -1;
+}
+
+namespace {
+
+/// Assign distinct priorities (n..1, larger = more important) by sorting an
+/// index permutation with the given "more important first" comparator.
+template <typename Less>
+void assign_by(TaskSet& ts, Less more_important_first) {
+  std::vector<std::size_t> order(ts.tasks.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), more_important_first);
+  int prio = static_cast<int>(ts.tasks.size());
+  for (std::size_t idx : order) ts.tasks[idx].priority = prio--;
+}
+
+}  // namespace
+
+void assign_rate_monotonic(TaskSet& ts) {
+  assign_by(ts, [&](std::size_t a, std::size_t b) {
+    return ts.tasks[a].period < ts.tasks[b].period;
+  });
+}
+
+void assign_deadline_monotonic(TaskSet& ts) {
+  assign_by(ts, [&](std::size_t a, std::size_t b) {
+    return ts.tasks[a].deadline < ts.tasks[b].deadline;
+  });
+}
+
+}  // namespace aadlsched::sched

@@ -1,0 +1,62 @@
+// Classical real-time task model used by the analytical baselines and the
+// hyperperiod simulator, and as the input surface for workload generation.
+//
+// All times are integral scheduling quanta (the paper's discrete-time
+// assumption, §4.1), which makes RTA, demand-bound analysis, the simulator
+// and the ACSR exploration all exact and mutually comparable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace aadlsched::sched {
+
+using Time = std::int64_t;
+
+enum class DispatchKind : std::uint8_t {
+  Periodic,
+  Sporadic,   // minimum inter-arrival = period
+  Aperiodic,  // no arrival bound; analyses treat worst case like sporadic
+  Background,
+};
+
+struct Task {
+  std::string name;
+  Time wcet = 0;      // C: worst-case execution time
+  Time bcet = 0;      // best-case execution time (0 = same as wcet)
+  Time period = 0;    // T (or minimum separation for sporadic)
+  Time deadline = 0;  // D, relative; constrained: D <= T
+  int priority = 0;   // larger = more important (fixed-priority policies)
+  DispatchKind kind = DispatchKind::Periodic;
+  int processor = 0;  // partitioned multiprocessor: index of the cpu
+
+  Time effective_bcet() const { return bcet > 0 ? bcet : wcet; }
+  double utilization() const {
+    return period > 0 ? static_cast<double>(wcet) / static_cast<double>(period)
+                      : 0.0;
+  }
+};
+
+struct TaskSet {
+  std::vector<Task> tasks;
+
+  double utilization() const;
+  /// Tasks bound to one processor, preserving order.
+  TaskSet on_processor(int cpu) const;
+  /// All deadlines constrained (D <= T)?
+  bool constrained_deadlines() const;
+  /// All deadlines implicit (D == T)?
+  bool implicit_deadlines() const;
+  /// lcm of periods; -1 on overflow/empty.
+  Time hyperperiod() const;
+};
+
+/// Rate-monotonic priority assignment: shorter period => higher priority.
+/// Ties are broken by index so every task gets a distinct priority.
+void assign_rate_monotonic(TaskSet& ts);
+
+/// Deadline-monotonic: shorter relative deadline => higher priority.
+void assign_deadline_monotonic(TaskSet& ts);
+
+}  // namespace aadlsched::sched

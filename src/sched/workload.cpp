@@ -1,0 +1,48 @@
+#include "sched/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aadlsched::sched {
+
+std::vector<double> uunifast(std::size_t n, double total,
+                             util::Xoshiro256& rng) {
+  std::vector<double> out(n, 0.0);
+  double sum = total;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const double next =
+        sum * std::pow(rng.uniform(),
+                       1.0 / static_cast<double>(n - 1 - i));
+    out[i] = sum - next;
+    sum = next;
+  }
+  if (n > 0) out[n - 1] = sum;
+  return out;
+}
+
+TaskSet generate_workload(const WorkloadSpec& spec, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  TaskSet ts;
+  const std::vector<double> us =
+      uunifast(spec.task_count, spec.total_utilization, rng);
+  for (std::size_t i = 0; i < spec.task_count; ++i) {
+    Task t;
+    t.name = "tau" + std::to_string(i + 1);
+    t.period = spec.periods[static_cast<std::size_t>(
+        rng.uniform_int(0, spec.periods.size() - 1))];
+    Time c = static_cast<Time>(
+        std::llround(us[i] * static_cast<double>(t.period)));
+    if (spec.min_wcet_one) c = std::max<Time>(c, 1);
+    c = std::min(c, t.period);
+    t.wcet = c;
+    t.bcet = c;
+    const double span = static_cast<double>(t.period - c);
+    t.deadline =
+        c + static_cast<Time>(std::llround(spec.deadline_fraction * span));
+    t.kind = DispatchKind::Periodic;
+    ts.tasks.push_back(std::move(t));
+  }
+  return ts;
+}
+
+}  // namespace aadlsched::sched

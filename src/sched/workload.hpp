@@ -1,0 +1,38 @@
+// Synthetic workload generation for the benches and property tests.
+//
+// The paper evaluates on a single worked example (the cruise-control
+// system); the schedulable-fraction curves in EXPERIMENTS.md need
+// parameterized random task sets. We use the standard recipe: UUniFast for
+// unbiased utilization splits, log-uniform periods from a small divisor-
+// friendly set (keeps hyperperiods and therefore both the simulator horizon
+// and the ACSR state space bounded), deadlines uniform in [C, T].
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sched/task.hpp"
+#include "util/rng.hpp"
+
+namespace aadlsched::sched {
+
+struct WorkloadSpec {
+  std::size_t task_count = 3;
+  double total_utilization = 0.7;
+  /// Candidate periods, in quanta. Defaults chosen so hyperperiods stay
+  /// small enough for exhaustive exploration.
+  std::vector<Time> periods = {4, 5, 8, 10, 16, 20};
+  /// D = C + fraction * (T - C); 1.0 = implicit deadlines.
+  double deadline_fraction = 1.0;
+  /// Ensure every task has wcet >= 1.
+  bool min_wcet_one = true;
+};
+
+/// UUniFast: split `total` into `n` unbiased utilization shares.
+std::vector<double> uunifast(std::size_t n, double total,
+                             util::Xoshiro256& rng);
+
+/// Generate a periodic task set from the spec. Deterministic in `seed`.
+TaskSet generate_workload(const WorkloadSpec& spec, std::uint64_t seed);
+
+}  // namespace aadlsched::sched

@@ -1,0 +1,45 @@
+#include "util/diagnostics.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace aadlsched::util {
+
+std::string_view to_string(Severity s) {
+  switch (s) {
+    case Severity::Note:
+      return "note";
+    case Severity::Warning:
+      return "warning";
+    case Severity::Error:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::render(std::string_view buffer_name) const {
+  std::ostringstream os;
+  os << buffer_name;
+  if (loc.valid()) os << ':' << loc.line << ':' << loc.column;
+  os << ": " << to_string(severity) << ": " << message;
+  return os.str();
+}
+
+void DiagnosticEngine::report(Severity sev, SourceLoc loc,
+                              std::string message) {
+  if (sev == Severity::Error) ++error_count_;
+  diags_.push_back(Diagnostic{sev, loc, std::move(message)});
+}
+
+std::string DiagnosticEngine::render_all() const {
+  std::string out;
+  for (const Diagnostic& d : diags_) {
+    out += d.render(buffer_name_);
+    out += '\n';
+  }
+  return out;
+}
+
+void DiagnosticEngine::print(std::ostream& os) const { os << render_all(); }
+
+}  // namespace aadlsched::util

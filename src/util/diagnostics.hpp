@@ -1,0 +1,67 @@
+// Source locations and diagnostics for the AADL front end and the ACSR
+// concrete-syntax parser. Mirrors the structure of a classic compiler
+// diagnostic engine: diagnostics accumulate in a sink, callers decide when to
+// render or abort.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aadlsched::util {
+
+/// 1-based line/column position inside a named buffer.
+struct SourceLoc {
+  std::uint32_t line = 0;
+  std::uint32_t column = 0;
+
+  bool valid() const { return line != 0; }
+  friend bool operator==(const SourceLoc&, const SourceLoc&) = default;
+};
+
+enum class Severity : std::uint8_t { Note, Warning, Error };
+
+std::string_view to_string(Severity s);
+
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  SourceLoc loc;
+  std::string message;
+
+  /// "file:line:col: error: message" rendering.
+  std::string render(std::string_view buffer_name) const;
+};
+
+/// Accumulating diagnostic sink.
+class DiagnosticEngine {
+ public:
+  explicit DiagnosticEngine(std::string buffer_name = "<input>")
+      : buffer_name_(std::move(buffer_name)) {}
+
+  void report(Severity sev, SourceLoc loc, std::string message);
+  void error(SourceLoc loc, std::string message) {
+    report(Severity::Error, loc, std::move(message));
+  }
+  void warning(SourceLoc loc, std::string message) {
+    report(Severity::Warning, loc, std::move(message));
+  }
+
+  bool has_errors() const { return error_count_ > 0; }
+  std::size_t error_count() const { return error_count_; }
+  const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+  const std::string& buffer_name() const { return buffer_name_; }
+
+  /// All diagnostics rendered one per line.
+  std::string render_all() const;
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::string buffer_name_;
+  std::vector<Diagnostic> diags_;
+  std::size_t error_count_ = 0;
+};
+
+}  // namespace aadlsched::util

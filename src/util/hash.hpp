@@ -1,0 +1,57 @@
+// Hashing helpers shared by the hash-consing tables in the ACSR core and the
+// explorer's seen-set. All hashes are deterministic across runs so that state
+// counts reported by benches are reproducible.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string_view>
+
+namespace aadlsched::util {
+
+/// 64-bit FNV-1a over an arbitrary byte range.
+constexpr std::uint64_t fnv1a(std::span<const std::byte> bytes,
+                              std::uint64_t seed = 0xcbf29ce484222325ULL) {
+  std::uint64_t h = seed;
+  for (std::byte b : bytes) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+constexpr std::uint64_t fnv1a(std::string_view s,
+                              std::uint64_t seed = 0xcbf29ce484222325ULL) {
+  std::uint64_t h = seed;
+  for (char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Strong 64-bit mixer (splitmix64 finalizer). Used to decorrelate ids that
+/// are small consecutive integers before combining.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Order-dependent combine in the boost::hash_combine style, but 64-bit.
+constexpr std::uint64_t hash_combine(std::uint64_t seed, std::uint64_t v) {
+  return seed ^ (mix64(v) + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+/// Hash a span of trivially hashable integers.
+template <typename T>
+constexpr std::uint64_t hash_span(std::span<const T> xs, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (const T& x : xs) h = hash_combine(h, static_cast<std::uint64_t>(x));
+  return h;
+}
+
+}  // namespace aadlsched::util

@@ -1,0 +1,26 @@
+#include "util/numeric.hpp"
+
+namespace aadlsched::util {
+
+std::optional<std::int64_t> checked_lcm(std::int64_t a, std::int64_t b) {
+  if (a == 0 || b == 0) return 0;
+  const std::int64_t g = gcd64(a, b);
+  const std::int64_t a_over_g = a / g;
+  std::int64_t result = 0;
+  if (__builtin_mul_overflow(a_over_g, b, &result)) return std::nullopt;
+  return result < 0 ? -result : result;
+}
+
+std::optional<std::int64_t> hyperperiod(
+    std::span<const std::int64_t> periods) {
+  if (periods.empty()) return std::nullopt;
+  std::int64_t acc = 1;
+  for (std::int64_t p : periods) {
+    auto l = checked_lcm(acc, p);
+    if (!l) return std::nullopt;
+    acc = *l;
+  }
+  return acc;
+}
+
+}  // namespace aadlsched::util

@@ -1,0 +1,32 @@
+// Integer helpers for timing arithmetic (hyperperiods, ceilings). All task
+// timing in this codebase is in integral scheduling quanta (the paper's
+// discrete-time assumption, §4.1), so everything here is exact.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+namespace aadlsched::util {
+
+constexpr std::int64_t gcd64(std::int64_t a, std::int64_t b) {
+  while (b != 0) {
+    std::int64_t t = a % b;
+    a = b;
+    b = t;
+  }
+  return a < 0 ? -a : a;
+}
+
+/// lcm that reports overflow instead of wrapping; nullopt on overflow.
+std::optional<std::int64_t> checked_lcm(std::int64_t a, std::int64_t b);
+
+/// Hyperperiod (lcm) of a set of periods; nullopt on overflow or empty set.
+std::optional<std::int64_t> hyperperiod(std::span<const std::int64_t> periods);
+
+/// ceil(a / b) for positive b.
+constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+}  // namespace aadlsched::util

@@ -1,0 +1,30 @@
+// Small string helpers used by the parsers and report renderers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aadlsched::util {
+
+/// ASCII lowercase copy. AADL identifiers are case-insensitive, so the front
+/// end folds everything through this before interning.
+std::string to_lower(std::string_view s);
+
+/// Case-insensitive ASCII comparison.
+bool iequals(std::string_view a, std::string_view b);
+
+/// Split on a delimiter; empty fields preserved.
+std::vector<std::string_view> split(std::string_view s, char delim);
+
+/// Join with a separator.
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Pads/truncates to a fixed width (for ASCII timeline rendering).
+std::string pad_right(std::string_view s, std::size_t width);
+
+}  // namespace aadlsched::util

@@ -1,0 +1,103 @@
+#include "versa/explorer.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace aadlsched::versa {
+
+using acsr::Label;
+using acsr::TermId;
+using acsr::Transition;
+
+ExploreResult explore(acsr::Semantics& sem, TermId initial,
+                      const ExploreOptions& opts) {
+  ExploreResult result;
+  result.initial = initial;
+
+  std::unordered_map<TermId, std::pair<TermId, Label>> parent;
+  std::unordered_map<TermId, bool> seen;
+  std::deque<TermId> frontier;
+
+  seen.emplace(initial, true);
+  frontier.push_back(initial);
+  result.states = 1;
+
+  while (!frontier.empty()) {
+    const TermId state = frontier.front();
+    frontier.pop_front();
+
+    const std::vector<Transition> fan = sem.prioritized(state);
+    // Stuck: no transitions at all, or nothing but instantaneous
+    // self-loops (e.g. a full drop-protocol queue absorbing environment
+    // events while time is frozen) — time can never progress again.
+    bool stuck = true;
+    for (const Transition& tr : fan)
+      stuck &= !tr.label.is_timed() && tr.target == state;
+    if (stuck) {
+      ++result.deadlock_count;
+      if (!result.deadlock_found) {
+        result.deadlock_found = true;
+        result.first_deadlock = state;
+      }
+      if (opts.stop_at_first_deadlock) break;
+      continue;
+    }
+    for (const Transition& tr : fan) {
+      ++result.transitions;
+      if (seen.emplace(tr.target, true).second) {
+        if (opts.record_trace) parent.emplace(tr.target, std::make_pair(state, tr.label));
+        ++result.states;
+        if (result.states >= opts.max_states) {
+          // Bailed out: leave `complete` false.
+          return result;
+        }
+        frontier.push_back(tr.target);
+      }
+    }
+  }
+
+  result.complete =
+      frontier.empty() || (result.deadlock_found && opts.stop_at_first_deadlock);
+
+  if (result.deadlock_found && opts.record_trace) {
+    std::vector<Step> rev;
+    TermId cur = result.first_deadlock;
+    while (cur != initial) {
+      const auto it = parent.find(cur);
+      if (it == parent.end()) break;  // initial state itself deadlocked
+      rev.push_back(Step{it->second.second, cur});
+      cur = it->second.first;
+    }
+    std::reverse(rev.begin(), rev.end());
+    result.trace = std::move(rev);
+  }
+  return result;
+}
+
+Lts build_lts(acsr::Semantics& sem, TermId initial,
+              std::uint64_t max_states) {
+  Lts lts;
+  lts.states.push_back(initial);
+  lts.index.emplace(initial, 0);
+  for (std::size_t i = 0; i < lts.states.size(); ++i) {
+    const TermId state = lts.states[i];
+    std::vector<Transition> fan = sem.prioritized(state);
+    for (const Transition& tr : fan) {
+      if (lts.index.emplace(tr.target, lts.states.size()).second) {
+        if (lts.states.size() >= max_states) break;
+        lts.states.push_back(tr.target);
+      }
+    }
+    lts.edges.push_back(std::move(fan));
+    if (lts.states.size() >= max_states) {
+      // Fill remaining edge slots so states/edges stay parallel arrays.
+      while (lts.edges.size() < lts.states.size()) lts.edges.emplace_back();
+      break;
+    }
+  }
+  while (lts.edges.size() < lts.states.size())
+    lts.edges.push_back(sem.prioritized(lts.states[lts.edges.size()]));
+  return lts;
+}
+
+}  // namespace aadlsched::versa

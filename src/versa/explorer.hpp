@@ -1,0 +1,65 @@
+// State-space exploration and deadlock detection (the paper's VERSA role).
+//
+// The explorer walks the *prioritized* transition relation breadth-first
+// from an initial ground term. For models produced by the AADL translation,
+// a reachable state with no outgoing prioritized transitions (a deadlock) is
+// exactly a timing violation (§5); BFS order means the reported failing
+// scenario is a shortest one.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "acsr/semantics.hpp"
+
+namespace aadlsched::versa {
+
+struct ExploreOptions {
+  /// Stop after this many states (guards against runaway models).
+  std::uint64_t max_states = 5'000'000;
+  /// Record parents for counterexample reconstruction.
+  bool record_trace = true;
+  /// Stop at the first deadlock instead of exploring the full space.
+  bool stop_at_first_deadlock = true;
+};
+
+/// One step of a counterexample: the label taken and the state reached.
+struct Step {
+  acsr::Label label;
+  acsr::TermId target = acsr::kNil;
+};
+
+struct ExploreResult {
+  bool complete = false;        // whole reachable space visited within limits
+  bool deadlock_found = false;
+  std::uint64_t states = 0;             // distinct states visited
+  std::uint64_t transitions = 0;        // prioritized transitions traversed
+  std::uint64_t deadlock_count = 0;     // deadlocks seen (>=1 if found)
+  acsr::TermId initial = acsr::kNil;
+  acsr::TermId first_deadlock = acsr::kNil;
+  /// Shortest path (BFS) from the initial state to the first deadlock;
+  /// empty when schedulable or when record_trace was off.
+  std::vector<Step> trace;
+
+  bool schedulable() const { return complete && !deadlock_found; }
+};
+
+/// Breadth-first exploration of the prioritized transition system.
+ExploreResult explore(acsr::Semantics& sem, acsr::TermId initial,
+                      const ExploreOptions& opts = {});
+
+/// A fully materialized labelled transition system, for tests and the
+/// playground example (small models only).
+struct Lts {
+  std::vector<acsr::TermId> states;  // BFS discovery order; [0] = initial
+  // edges[i]: prioritized transitions out of states[i]
+  std::vector<std::vector<acsr::Transition>> edges;
+  std::unordered_map<acsr::TermId, std::size_t> index;
+};
+
+Lts build_lts(acsr::Semantics& sem, acsr::TermId initial,
+              std::uint64_t max_states = 100'000);
+
+}  // namespace aadlsched::versa

@@ -1,0 +1,76 @@
+#include "versa/inspection.hpp"
+
+#include "acsr/printer.hpp"
+
+namespace aadlsched::versa {
+
+namespace {
+
+void walk(const acsr::Context& ctx, acsr::TermId t,
+          std::vector<ComponentState>& out) {
+  using acsr::TermKind;
+  const acsr::TermNode& n = ctx.terms().node(t);
+  switch (n.kind) {
+    case TermKind::Parallel: {
+      const auto p = ctx.terms().payload(t);
+      for (acsr::TermId child : p) walk(ctx, child, out);
+      return;
+    }
+    case TermKind::Restrict:
+      walk(ctx, n.b, out);
+      return;
+    case TermKind::Scope:
+      walk(ctx, n.a, out);
+      return;
+    case TermKind::Call: {
+      const acsr::Definition& def = ctx.definition(n.a);
+      ComponentState cs;
+      cs.def = n.a;
+      cs.role = def.role;
+      cs.name = def.name;
+      cs.aadl_path = def.aadl_path;
+      cs.state_name = def.state_name;
+      const auto args = ctx.terms().payload(t);
+      cs.params.reserve(args.size());
+      for (std::uint32_t a : args)
+        cs.params.push_back(static_cast<acsr::ParamValue>(a));
+      out.push_back(std::move(cs));
+      return;
+    }
+    default: {
+      ComponentState cs;
+      acsr::Printer printer(ctx);
+      std::string rendering = printer.ground_term(t);
+      if (rendering.size() > 64) rendering.resize(64);
+      cs.name = std::move(rendering);
+      out.push_back(std::move(cs));
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<ComponentState> inspect(const acsr::Context& ctx,
+                                    acsr::TermId state) {
+  std::vector<ComponentState> out;
+  walk(ctx, state, out);
+  return out;
+}
+
+const ComponentState* find_by_path(const std::vector<ComponentState>& states,
+                                   std::string_view aadl_path) {
+  for (const ComponentState& cs : states)
+    if (cs.aadl_path == aadl_path) return &cs;
+  return nullptr;
+}
+
+const ComponentState* find_by_role(const std::vector<ComponentState>& states,
+                                   std::string_view aadl_path,
+                                   acsr::DefRole role) {
+  for (const ComponentState& cs : states)
+    if (cs.role == role && cs.aadl_path == aadl_path) return &cs;
+  return nullptr;
+}
+
+}  // namespace aadlsched::versa

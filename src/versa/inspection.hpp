@@ -1,0 +1,50 @@
+// State inspection: decompose a global ground state into per-component
+// status records.
+//
+// This is the mechanism behind the paper's trace lift-back (§5): instead of
+// tagging actions with per-thread marker resources (which would corrupt the
+// preemption relation — see tests/test_preemption.cpp), we exploit the
+// translation invariant that every prefix continuation is a definition call,
+// so along any trace each parallel component is (almost always) a Call term
+// whose definition carries AADL metadata (component path, automaton state)
+// and whose arguments are the live parameters (accumulated execution time,
+// time since dispatch, queue depth, ...).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "acsr/context.hpp"
+
+namespace aadlsched::versa {
+
+struct ComponentState {
+  acsr::DefId def = acsr::kInvalidDef;  // kInvalidDef for anonymous terms
+  acsr::DefRole role = acsr::DefRole::Generic;
+  std::string name;        // definition name, or a rendering if anonymous
+  std::string aadl_path;   // empty for generic processes
+  std::string state_name;  // automaton state ("Compute", "AwaitDispatch"...)
+  std::vector<acsr::ParamValue> params;
+};
+
+/// Flatten a global state into component records. Parallel compositions,
+/// restrictions and scopes are traversed; Call leaves become typed records;
+/// any other leaf becomes an anonymous record (it names itself by a short
+/// rendering). Ordering is the canonical (sorted) component order.
+std::vector<ComponentState> inspect(const acsr::Context& ctx,
+                                    acsr::TermId state);
+
+/// Find the record of the component whose definition has the given AADL
+/// path; nullptr if the component is anonymous in this state or absent.
+/// Note several processes may share one AADL path (a thread skeleton and
+/// its dispatcher); this returns the first.
+const ComponentState* find_by_path(const std::vector<ComponentState>& states,
+                                   std::string_view aadl_path);
+
+/// Find the record with the given AADL path *and* role (e.g. the thread
+/// skeleton rather than its dispatcher).
+const ComponentState* find_by_role(const std::vector<ComponentState>& states,
+                                   std::string_view aadl_path,
+                                   acsr::DefRole role);
+
+}  // namespace aadlsched::versa

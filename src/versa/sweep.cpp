@@ -1,0 +1,12 @@
+#include "versa/sweep.hpp"
+
+namespace aadlsched::versa {
+
+void parallel_sweep(std::size_t jobs,
+                    const std::function<void(std::size_t)>& job,
+                    std::size_t workers) {
+  util::ThreadPool pool(workers);
+  pool.parallel_for(jobs, job);
+}
+
+}  // namespace aadlsched::versa

@@ -1,0 +1,26 @@
+// Parallel analysis sweeps.
+//
+// A Context is deliberately single-threaded (every table is an interner),
+// so parallelism lives one level up: independent analyses — one model
+// variant per job, each with a private Context — run concurrently on a
+// thread pool. This is the structure the benches use for utilization
+// sweeps and is the honest parallelization of this workload: exploration of
+// *one* model is pointer-chasing over a shared hash-cons table, while a
+// sweep is embarrassingly parallel.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace aadlsched::versa {
+
+/// Run `job(i)` for i in [0, jobs) across `workers` threads (0 = hardware
+/// concurrency). Each job must be self-contained (build its own Context).
+void parallel_sweep(std::size_t jobs,
+                    const std::function<void(std::size_t)>& job,
+                    std::size_t workers = 0);
+
+}  // namespace aadlsched::versa

@@ -1,0 +1,516 @@
+// Tests for the AADL front end: lexer, parser, instantiation, semantic
+// connection resolution, bindings and typed property extraction.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "aadl/instance.hpp"
+#include "aadl/lexer.hpp"
+#include "aadl/parser.hpp"
+#include "aadl/properties.hpp"
+
+using namespace aadlsched;
+using namespace aadlsched::aadl;
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in) << "cannot open " << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+const char* kTinyModel = R"(
+package Tiny
+public
+  processor Cpu
+  properties
+    Scheduling_Protocol => RATE_MONOTONIC_PROTOCOL;
+  end Cpu;
+
+  thread Worker
+  features
+    ping_in  : in event port;
+    data_out : out data port;
+  end Worker;
+
+  thread implementation Worker.impl
+  properties
+    Dispatch_Protocol => Periodic;
+    Period => 20 ms;
+    Compute_Execution_Time => 5 ms .. 10 ms;
+    Deadline => 20 ms;
+  end Worker.impl;
+
+  system Root
+  end Root;
+
+  system implementation Root.impl
+  subcomponents
+    cpu : processor Cpu;
+    w   : thread Worker.impl;
+  properties
+    Actual_Processor_Binding => reference (cpu) applies to w;
+  end Root.impl;
+end Tiny;
+)";
+
+// --- lexer ------------------------------------------------------------
+
+TEST(AadlLexer, TokenKinds) {
+  util::DiagnosticEngine diags;
+  const auto toks = lex("foo : in event port; => +=> -> <-> .. 42 ms 3.5 ::",
+                        diags);
+  EXPECT_FALSE(diags.has_errors());
+  std::vector<TokKind> kinds;
+  for (const auto& t : toks) kinds.push_back(t.kind);
+  const std::vector<TokKind> expect = {
+      TokKind::Ident, TokKind::Colon,  TokKind::Ident, TokKind::Ident,
+      TokKind::Ident, TokKind::Semicolon, TokKind::Assoc,
+      TokKind::AppendAssoc, TokKind::Arrow, TokKind::BiArrow,
+      TokKind::DotDot, TokKind::Integer, TokKind::Ident, TokKind::Real,
+      TokKind::ColonColon, TokKind::End};
+  EXPECT_EQ(kinds, expect);
+}
+
+TEST(AadlLexer, CommentsAndLocations) {
+  util::DiagnosticEngine diags;
+  const auto toks = lex("-- a comment line\n  name", diags);
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0].kind, TokKind::Ident);
+  EXPECT_EQ(toks[0].loc.line, 2u);
+  EXPECT_EQ(toks[0].loc.column, 3u);
+}
+
+TEST(AadlLexer, RangeVersusReal) {
+  util::DiagnosticEngine diags;
+  const auto toks = lex("5 .. 10 2.5", diags);
+  EXPECT_EQ(toks[0].kind, TokKind::Integer);
+  EXPECT_EQ(toks[1].kind, TokKind::DotDot);
+  EXPECT_EQ(toks[2].kind, TokKind::Integer);
+  EXPECT_EQ(toks[3].kind, TokKind::Real);
+  EXPECT_DOUBLE_EQ(toks[3].real_value, 2.5);
+}
+
+TEST(AadlLexer, ReportsStrayCharacters) {
+  util::DiagnosticEngine diags;
+  lex("foo $ bar", diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+// --- parser ------------------------------------------------------------
+
+TEST(AadlParser, ParsesTinyModel) {
+  Model m;
+  util::DiagnosticEngine diags("tiny.aadl");
+  ASSERT_TRUE(parse_aadl(m, kTinyModel, diags)) << diags.render_all();
+  ASSERT_EQ(m.packages.size(), 1u);
+  const Package& pkg = m.packages.at("tiny");
+  EXPECT_EQ(pkg.types.size(), 3u);
+  EXPECT_EQ(pkg.impls.size(), 2u);
+
+  const ComponentType* worker = m.find_type("worker");
+  ASSERT_NE(worker, nullptr);
+  EXPECT_EQ(worker->category, Category::Thread);
+  ASSERT_EQ(worker->features.size(), 2u);
+  EXPECT_EQ(worker->features[0].kind, FeatureKind::EventPort);
+  EXPECT_EQ(worker->features[0].direction, Direction::In);
+  EXPECT_EQ(worker->features[1].kind, FeatureKind::DataPort);
+  EXPECT_EQ(worker->features[1].direction, Direction::Out);
+
+  const ComponentImpl* impl = m.find_impl("worker.impl");
+  ASSERT_NE(impl, nullptr);
+  EXPECT_EQ(impl->properties.size(), 4u);
+}
+
+TEST(AadlParser, CaseInsensitiveLookup) {
+  Model m;
+  util::DiagnosticEngine diags;
+  ASSERT_TRUE(parse_aadl(m, kTinyModel, diags));
+  EXPECT_NE(m.find_type("WORKER"), nullptr);  // find_type expects lowered
+  EXPECT_NE(m.find_impl("worker.impl"), nullptr);
+}
+
+TEST(AadlParser, PropertyValueShapes) {
+  Model m;
+  util::DiagnosticEngine diags;
+  ASSERT_TRUE(parse_aadl(m, R"(
+    package P
+    public
+      thread T
+      properties
+        Period => 10 ms;
+        Compute_Execution_Time => 1 ms .. 2 ms;
+        Priority => 7;
+        Dispatch_Protocol => Sporadic;
+        Source_Text => "main.c";
+        Flag => true;
+        List_Prop => (1, 2, 3);
+      end T;
+    end P;
+  )", diags)) << diags.render_all();
+  const ComponentType* t = m.find_type("t");
+  ASSERT_NE(t, nullptr);
+  ASSERT_EQ(t->properties.size(), 7u);
+  EXPECT_TRUE(t->properties[0].value.is_int());
+  EXPECT_EQ(std::get<IntWithUnit>(t->properties[0].value.data).unit, "ms");
+  EXPECT_TRUE(t->properties[1].value.is_range());
+  EXPECT_TRUE(t->properties[2].value.is_int());
+  EXPECT_TRUE(t->properties[3].value.is_ident());
+  EXPECT_TRUE(std::holds_alternative<std::string>(
+      t->properties[4].value.data));
+  EXPECT_TRUE(std::holds_alternative<bool>(t->properties[5].value.data));
+  EXPECT_TRUE(t->properties[6].value.is_list());
+  EXPECT_EQ(std::get<ListValue>(t->properties[6].value.data).items.size(),
+            3u);
+}
+
+TEST(AadlParser, QualifiedPropertyNames) {
+  Model m;
+  util::DiagnosticEngine diags;
+  ASSERT_TRUE(parse_aadl(m, R"(
+    package P
+    public
+      thread T
+      properties
+        Thread_Properties::Period => 10 ms;
+      end T;
+    end P;
+  )", diags)) << diags.render_all();
+  EXPECT_EQ(m.find_type("t")->properties[0].name,
+            "thread_properties::period");
+}
+
+TEST(AadlParser, RecoversAfterError) {
+  Model m;
+  util::DiagnosticEngine diags;
+  EXPECT_FALSE(parse_aadl(m, R"(
+    package P
+    public
+      thread T
+      properties
+        Broken => => ;
+        Period => 10 ms;
+      end T;
+    end P;
+  )", diags));
+  EXPECT_TRUE(diags.has_errors());
+  // The good property after the bad one was still parsed.
+  const ComponentType* t = m.find_type("t");
+  ASSERT_NE(t, nullptr);
+  ASSERT_EQ(t->properties.size(), 1u);
+  EXPECT_EQ(t->properties[0].name, "period");
+}
+
+TEST(AadlParser, AppliesToPaths) {
+  Model m;
+  util::DiagnosticEngine diags;
+  ASSERT_TRUE(parse_aadl(m, R"(
+    package P
+    public
+      system S
+      end S;
+      system implementation S.impl
+      properties
+        Actual_Processor_Binding => reference (cpu) applies to a.b, c;
+      end S.impl;
+    end P;
+  )", diags)) << diags.render_all();
+  const ComponentImpl* s = m.find_impl("s.impl");
+  ASSERT_NE(s, nullptr);
+  ASSERT_EQ(s->properties.size(), 1u);
+  ASSERT_EQ(s->properties[0].applies_to.size(), 2u);
+  EXPECT_EQ(s->properties[0].applies_to[0],
+            (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(s->properties[0].value.is_reference());
+}
+
+TEST(AadlParser, ModesParsedAndIgnored) {
+  Model m;
+  util::DiagnosticEngine diags;
+  ASSERT_TRUE(parse_aadl(m, R"(
+    package P
+    public
+      system S
+      end S;
+      system implementation S.impl
+      modes
+        nominal : initial mode;
+        degraded : mode;
+      end S.impl;
+    end P;
+  )", diags)) << diags.render_all();
+  const ComponentImpl* s = m.find_impl("s.impl");
+  ASSERT_EQ(s->modes.size(), 2u);
+  EXPECT_TRUE(s->modes[0].initial);
+  EXPECT_FALSE(s->modes[1].initial);
+}
+
+// --- instantiation -------------------------------------------------------
+
+TEST(AadlInstance, BuildsTreeAndBindings) {
+  Model m;
+  util::DiagnosticEngine diags;
+  ASSERT_TRUE(parse_aadl(m, kTinyModel, diags));
+  auto inst = instantiate(m, "Root.impl", diags);
+  ASSERT_NE(inst, nullptr);
+  EXPECT_FALSE(diags.has_errors()) << diags.render_all();
+  EXPECT_EQ(inst->threads.size(), 1u);
+  EXPECT_EQ(inst->processors.size(), 1u);
+  const ComponentInstance* w = inst->find("w");
+  ASSERT_NE(w, nullptr);
+  EXPECT_EQ(w->category, Category::Thread);
+  ASSERT_TRUE(inst->bindings.count(w));
+  EXPECT_EQ(inst->bindings.at(w)->path, "cpu");
+}
+
+TEST(AadlInstance, MissingRootReported) {
+  Model m;
+  util::DiagnosticEngine diags;
+  ASSERT_TRUE(parse_aadl(m, kTinyModel, diags));
+  EXPECT_EQ(instantiate(m, "Nope.impl", diags), nullptr);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(AadlInstance, CruiseControlStructure) {
+  Model m;
+  util::DiagnosticEngine diags("cruise_control.aadl");
+  ASSERT_TRUE(parse_aadl(
+      m, read_file(std::string(AADLSCHED_MODELS_DIR) + "/cruise_control.aadl"),
+      diags))
+      << diags.render_all();
+  auto inst = instantiate(m, "CruiseControlSystem.impl", diags);
+  ASSERT_NE(inst, nullptr);
+  EXPECT_FALSE(diags.has_errors()) << diags.render_all();
+
+  // Six threads, two processors, one bus (Fig. 1).
+  EXPECT_EQ(inst->threads.size(), 6u);
+  EXPECT_EQ(inst->processors.size(), 2u);
+  EXPECT_EQ(inst->buses.size(), 1u);
+
+  // Every thread is bound; HCI threads to hci_processor.
+  const ComponentInstance* refspeed = inst->find("hci.refspeed");
+  ASSERT_NE(refspeed, nullptr);
+  ASSERT_TRUE(inst->bindings.count(refspeed));
+  EXPECT_EQ(inst->bindings.at(refspeed)->path, "hci_processor");
+  const ComponentInstance* cruise2 = inst->find("ccl.cruise2");
+  ASSERT_TRUE(inst->bindings.count(cruise2));
+  EXPECT_EQ(inst->bindings.at(cruise2)->path, "ccl_processor");
+
+  EXPECT_EQ(inst->threads_on(inst->find("hci_processor")).size(), 4u);
+  EXPECT_EQ(inst->threads_on(inst->find("ccl_processor")).size(), 2u);
+}
+
+TEST(AadlInstance, CruiseControlSemanticConnections) {
+  Model m;
+  util::DiagnosticEngine diags;
+  ASSERT_TRUE(parse_aadl(
+      m, read_file(std::string(AADLSCHED_MODELS_DIR) + "/cruise_control.aadl"),
+      diags));
+  auto inst = instantiate(m, "CruiseControlSystem.impl", diags);
+  ASSERT_NE(inst, nullptr);
+
+  // Five semantic connections: buttons->dml, buttons->display,
+  // refspeed->cruise1 (3 syntactic hops, via bus), dml->cruise2 (via bus),
+  // cruise1->cruise2.
+  ASSERT_EQ(inst->connections.size(), 5u);
+
+  const SemanticConnection* cross = nullptr;
+  for (const auto& sc : inst->connections)
+    if (sc.source->path == "hci.refspeed") cross = &sc;
+  ASSERT_NE(cross, nullptr);
+  EXPECT_EQ(cross->destination->path, "ccl.cruise1");
+  EXPECT_EQ(cross->destination_port, "ref_in");
+  // The paper: "This connection contains three syntactic connections and
+  // is mapped to the bus component."
+  EXPECT_EQ(cross->via.size(), 3u);
+  ASSERT_NE(cross->bus, nullptr);
+  EXPECT_EQ(cross->bus->path, "vme");
+
+  // The local connection within HCI has one syntactic hop and no bus.
+  const SemanticConnection* local = nullptr;
+  for (const auto& sc : inst->connections)
+    if (sc.source->path == "hci.buttonpanel" &&
+        sc.destination->path == "hci.drivermodelogic")
+      local = &sc;
+  ASSERT_NE(local, nullptr);
+  EXPECT_EQ(local->via.size(), 1u);
+  EXPECT_EQ(local->bus, nullptr);
+}
+
+// --- typed properties ------------------------------------------------------
+
+TEST(AadlProperties, ThreadTiming) {
+  Model m;
+  util::DiagnosticEngine diags;
+  ASSERT_TRUE(parse_aadl(m, kTinyModel, diags));
+  auto inst = instantiate(m, "Root.impl", diags);
+  const ComponentInstance* w = inst->find("w");
+  auto tp = thread_properties(*inst, *w, diags);
+  ASSERT_TRUE(tp.has_value()) << diags.render_all();
+  EXPECT_EQ(tp->dispatch, DispatchProtocol::Periodic);
+  EXPECT_EQ(tp->period_ns, 20'000'000);
+  EXPECT_EQ(tp->compute_min_ns, 5'000'000);
+  EXPECT_EQ(tp->compute_max_ns, 10'000'000);
+  EXPECT_EQ(tp->deadline_ns, 20'000'000);
+}
+
+TEST(AadlProperties, ImplicitDeadlineDefaultsToPeriod) {
+  Model m;
+  util::DiagnosticEngine diags;
+  ASSERT_TRUE(parse_aadl(m, R"(
+    package P
+    public
+      thread T
+      end T;
+      thread implementation T.impl
+      properties
+        Dispatch_Protocol => Periodic;
+        Period => 42 ms;
+        Compute_Execution_Time => 1 ms .. 1 ms;
+      end T.impl;
+      processor C
+      end C;
+      system R
+      end R;
+      system implementation R.impl
+      subcomponents
+        t : thread T.impl;
+        c : processor C;
+      properties
+        Actual_Processor_Binding => reference (c) applies to t;
+      end R.impl;
+    end P;
+  )", diags)) << diags.render_all();
+  auto inst = instantiate(m, "R.impl", diags);
+  auto tp = thread_properties(*inst, *inst->find("t"), diags);
+  ASSERT_TRUE(tp.has_value());
+  EXPECT_EQ(tp->deadline_ns, 42'000'000);
+}
+
+TEST(AadlProperties, MissingDispatchProtocolReported) {
+  Model m;
+  util::DiagnosticEngine diags;
+  ASSERT_TRUE(parse_aadl(m, R"(
+    package P
+    public
+      thread T
+      end T;
+      system R
+      end R;
+      system implementation R.impl
+      subcomponents
+        t : thread T;
+      end R.impl;
+    end P;
+  )", diags));
+  auto inst = instantiate(m, "R.impl", diags);
+  util::DiagnosticEngine d2;
+  EXPECT_FALSE(thread_properties(*inst, *inst->find("t"), d2).has_value());
+  EXPECT_TRUE(d2.has_errors());
+}
+
+TEST(AadlProperties, TimeUnits) {
+  util::DiagnosticEngine diags;
+  EXPECT_EQ(time_to_ns({5, "ms"}, diags, {}).value(), 5'000'000);
+  EXPECT_EQ(time_to_ns({5, "us"}, diags, {}).value(), 5'000);
+  EXPECT_EQ(time_to_ns({5, "ns"}, diags, {}).value(), 5);
+  EXPECT_EQ(time_to_ns({2, "sec"}, diags, {}).value(), 2'000'000'000);
+  EXPECT_EQ(time_to_ns({1, "min"}, diags, {}).value(), 60'000'000'000LL);
+  EXPECT_FALSE(diags.has_errors());
+  EXPECT_FALSE(time_to_ns({5, "parsecs"}, diags, {}).has_value());
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(AadlProperties, SchedulingProtocolNames) {
+  Model m;
+  util::DiagnosticEngine diags;
+  ASSERT_TRUE(parse_aadl(m, R"(
+    package P
+    public
+      processor A
+      properties
+        Scheduling_Protocol => RATE_MONOTONIC_PROTOCOL;
+      end A;
+      processor B
+      properties
+        Scheduling_Protocol => EDF_PROTOCOL;
+      end B;
+      processor C
+      properties
+        Scheduling_Protocol => DEADLINE_MONOTONIC_PROTOCOL;
+      end C;
+      system R
+      end R;
+      system implementation R.impl
+      subcomponents
+        a : processor A;
+        b : processor B;
+        c : processor C;
+      end R.impl;
+    end P;
+  )", diags)) << diags.render_all();
+  auto inst = instantiate(m, "R.impl", diags);
+  EXPECT_EQ(scheduling_protocol(*inst, *inst->find("a"), diags),
+            SchedulingProtocol::RateMonotonic);
+  EXPECT_EQ(scheduling_protocol(*inst, *inst->find("b"), diags),
+            SchedulingProtocol::Edf);
+  EXPECT_EQ(scheduling_protocol(*inst, *inst->find("c"), diags),
+            SchedulingProtocol::DeadlineMonotonic);
+}
+
+TEST(AadlProperties, QueueProperties) {
+  Model m;
+  util::DiagnosticEngine diags;
+  ASSERT_TRUE(parse_aadl(m, R"(
+    package P
+    public
+      thread Src
+      features
+        evt_out : out event port;
+      end Src;
+      thread implementation Src.impl
+      properties
+        Dispatch_Protocol => Periodic;
+        Period => 10 ms;
+        Compute_Execution_Time => 1 ms .. 1 ms;
+      end Src.impl;
+      thread Dst
+      features
+        evt_in : in event port { Queue_Size => 4; };
+      end Dst;
+      thread implementation Dst.impl
+      properties
+        Dispatch_Protocol => Aperiodic;
+        Compute_Execution_Time => 1 ms .. 1 ms;
+        Deadline => 5 ms;
+      end Dst.impl;
+      processor C
+      end C;
+      system R
+      end R;
+      system implementation R.impl
+      subcomponents
+        s : thread Src.impl;
+        d : thread Dst.impl;
+        c : processor C;
+      connections
+        conn : port s.evt_out -> d.evt_in;
+      properties
+        Actual_Processor_Binding => reference (c) applies to s;
+        Actual_Processor_Binding => reference (c) applies to d;
+        Overflow_Handling_Protocol => Error applies to conn;
+      end R.impl;
+    end P;
+  )", diags)) << diags.render_all();
+  auto inst = instantiate(m, "R.impl", diags);
+  ASSERT_EQ(inst->connections.size(), 1u);
+  const auto cp = connection_properties(*inst, inst->connections[0], diags);
+  EXPECT_EQ(cp.queue_size, 4);
+  EXPECT_EQ(cp.overflow, OverflowProtocol::Error);
+}
+
+}  // namespace

@@ -1,0 +1,190 @@
+// Executable reproductions of the paper's ACSR figures.
+//
+// Figure 2: the Simple process — a computation step on cpu, a computation
+//           step on cpu+bus, completion announced by done!, restart; (b)
+//           adds idling steps so the process can wait for resources.
+// Figure 3: Simple composed with SimpleDriver. The driver's second action
+//           grabs the bus at a higher priority and preempts Simple for one
+//           quantum; the driver can alternatively force the interrupt exit
+//           of Simple's temporal scope, and an idling alternative takes
+//           Simple to the exception handler.
+#include <gtest/gtest.h>
+
+#include "acsr/builder.hpp"
+#include "acsr/semantics.hpp"
+#include "versa/explorer.hpp"
+
+using namespace aadlsched;
+using namespace aadlsched::acsr;
+
+namespace {
+
+class FiguresTest : public ::testing::Test {
+ protected:
+  Context ctx;
+  Builder b{ctx};
+  Semantics sem{ctx};
+
+  std::string lbl(const Transition& t) { return render_label(ctx, t.label); }
+
+  /// Fig. 2(b): Simple with idling alternatives in each state.
+  void define_simple_waiting() {
+    b.def("Simple",  {},
+          b.pick({b.act({{"cpu", b.c(1)}}, b.call("Simple1")),
+                  b.idle(b.call("Simple"))}));
+    b.def("Simple1", {},
+          b.pick({b.act({{"cpu", b.c(1)}, {"bus", b.c(1)}}, b.call("Simple2")),
+                  b.idle(b.call("Simple1"))}));
+    b.def("Simple2", {}, b.send("done", b.c(1), b.call("Simple")));
+  }
+};
+
+TEST_F(FiguresTest, Fig2a_SimpleCycle) {
+  // Without idling steps the process is a strict 3-state cycle.
+  b.def("Simple",  {}, b.act({{"cpu", b.c(1)}}, b.call("Simple1")));
+  b.def("Simple1", {},
+        b.act({{"cpu", b.c(1)}, {"bus", b.c(1)}}, b.call("Simple2")));
+  b.def("Simple2", {}, b.send("done", b.c(1), b.call("Simple")));
+
+  TermId t = b.start("Simple");
+  auto f1 = sem.transitions(t);
+  ASSERT_EQ(f1.size(), 1u);
+  EXPECT_EQ(lbl(f1[0]), "{(cpu,1)}");
+  auto f2 = sem.transitions(f1[0].target);
+  ASSERT_EQ(f2.size(), 1u);
+  EXPECT_EQ(lbl(f2[0]), "{(bus,1),(cpu,1)}");
+  auto f3 = sem.transitions(f2[0].target);
+  ASSERT_EQ(f3.size(), 1u);
+  EXPECT_EQ(lbl(f3[0]), "done!:1");
+  EXPECT_EQ(f3[0].target, t);  // back to the start: a 3-state cycle
+}
+
+TEST_F(FiguresTest, Fig2b_IdlingStepsAllowWaiting) {
+  define_simple_waiting();
+  const TermId t = b.start("Simple");
+  const auto fan = sem.transitions(t);
+  ASSERT_EQ(fan.size(), 2u);
+  // One computing step, one idling step staying in place.
+  EXPECT_EQ(lbl(fan[0]), "{}");
+  EXPECT_EQ(fan[0].target, t);
+  EXPECT_EQ(lbl(fan[1]), "{(cpu,1)}");
+}
+
+TEST_F(FiguresTest, Fig3_DriverPreemptsBusForOneQuantum) {
+  define_simple_waiting();
+  // Driver: one action on disjoint resources, then one quantum of bus at
+  // priority 2, then idles forever.
+  b.def("Driver",  {}, b.act({{"bus", b.c(2)}}, b.call("Driver1")));
+  b.def("Driver1", {}, b.act({{"bus", b.c(2)}}, b.call("Driver2")));
+  b.def("Driver2", {}, b.idle(b.call("Driver2")));
+
+  TermId t = ctx.terms().parallel({b.start("Simple"), b.start("Driver")});
+
+  // Quantum 1: Simple computes on cpu while the driver uses the bus.
+  auto fan = sem.prioritized(t);
+  ASSERT_EQ(fan.size(), 1u);
+  EXPECT_EQ(lbl(fan[0]), "{(bus,2),(cpu,1)}");
+  t = fan[0].target;
+
+  // Quantum 2: Simple needs cpu+bus, but the driver holds the bus at a
+  // higher priority — the only surviving step has Simple idling.
+  fan = sem.prioritized(t);
+  ASSERT_EQ(fan.size(), 1u);
+  EXPECT_EQ(lbl(fan[0]), "{(bus,2)}");
+  t = fan[0].target;
+
+  // Quantum 3: driver is done; Simple finishes its second step.
+  fan = sem.prioritized(t);
+  ASSERT_EQ(fan.size(), 1u);
+  EXPECT_EQ(lbl(fan[0]), "{(bus,1),(cpu,1)}");
+  t = fan[0].target;
+
+  // Completion event.
+  fan = sem.prioritized(t);
+  ASSERT_EQ(fan.size(), 1u);
+  EXPECT_EQ(lbl(fan[0]), "done!:1");
+}
+
+TEST_F(FiguresTest, Fig3_InterruptExit) {
+  define_simple_waiting();
+  // Simple runs inside a scope whose interrupt handler is triggered by the
+  // ACSR event "interrupt"; the driver forces it.
+  const OpenTermId handler =
+      b.recv("interrupt", b.c(1), b.send("handled", b.c(1), b.nil()));
+  b.def("Scoped", {},
+        b.scope(b.call("Simple"), b.c(-1), /*exception_label=*/{},
+                kInvalidOpenTerm, handler, kInvalidOpenTerm));
+  b.def("Killer", {}, b.send("interrupt", b.c(1), b.nil()));
+
+  const TermId sys = ctx.terms().restrict(
+      ctx.event_sets().intern({ctx.event("interrupt")}),
+      ctx.terms().parallel({b.start("Scoped"), b.start("Killer")}));
+
+  // The interrupt tau preempts all timed steps.
+  const auto fan = sem.prioritized(sys);
+  ASSERT_EQ(fan.size(), 1u);
+  EXPECT_EQ(fan[0].label.kind, Label::Kind::Tau);
+  EXPECT_EQ(ctx.event_name(fan[0].label.event), "interrupt");
+
+  // After the interrupt the handler continuation announces itself.
+  const auto fan2 = sem.prioritized(fan[0].target);
+  ASSERT_EQ(fan2.size(), 1u);
+  EXPECT_EQ(lbl(fan2[0]), "handled!:1");
+}
+
+TEST_F(FiguresTest, Fig3_ExceptionExit) {
+  // The body may voluntarily raise the exception and transfer control to
+  // the exit point.
+  const OpenTermId body =
+      b.pick({b.act({{"cpu", b.c(1)}}, b.call("Body")),
+              b.send("exception", b.c(1), b.nil())});
+  b.def("Body", {}, body);
+  b.def("ScopedE", {},
+        b.scope(b.call("Body"), b.c(-1), "exception",
+                b.send("recovered", b.c(1), b.nil()), kInvalidOpenTerm,
+                kInvalidOpenTerm));
+  const TermId t = b.start("ScopedE");
+  const auto fan = sem.transitions(t);
+  ASSERT_EQ(fan.size(), 2u);
+  // Find the exception transition and follow it.
+  const Transition* exc = nullptr;
+  for (const auto& tr : fan)
+    if (tr.label.kind == Label::Kind::Event) exc = &tr;
+  ASSERT_NE(exc, nullptr);
+  EXPECT_EQ(ctx.event_name(exc->label.event), "exception");
+  const auto fan2 = sem.transitions(exc->target);
+  ASSERT_EQ(fan2.size(), 1u);
+  EXPECT_EQ(lbl(fan2[0]), "recovered!:1");
+}
+
+TEST_F(FiguresTest, Fig3_TimeoutExit) {
+  b.def("Busy", {}, b.act({{"cpu", b.c(1)}}, b.call("Busy")));
+  b.def("ScopedT", {},
+        b.scope(b.call("Busy"), b.c(3), {}, kInvalidOpenTerm,
+                kInvalidOpenTerm, b.send("late", b.c(1), b.nil())));
+  TermId t = b.start("ScopedT");
+  for (int i = 0; i < 3; ++i) {
+    const auto fan = sem.transitions(t);
+    ASSERT_EQ(fan.size(), 1u);
+    EXPECT_TRUE(fan[0].label.is_timed());
+    t = fan[0].target;
+  }
+  const auto fan = sem.transitions(t);
+  ASSERT_EQ(fan.size(), 1u);
+  EXPECT_EQ(lbl(fan[0]), "late!:1");
+}
+
+TEST_F(FiguresTest, Fig3_FullLtsIsFinite) {
+  define_simple_waiting();
+  b.def("Driver",  {}, b.act({{"bus", b.c(2)}}, b.call("Driver1")));
+  b.def("Driver1", {}, b.act({{"bus", b.c(2)}}, b.call("Driver2")));
+  b.def("Driver2", {}, b.idle(b.call("Driver2")));
+  const TermId sys =
+      ctx.terms().parallel({b.start("Simple"), b.start("Driver")});
+  const auto lts = versa::build_lts(sem, sys);
+  // Small, finite, and every state has a successor (no deadlock).
+  EXPECT_LE(lts.states.size(), 16u);
+  for (const auto& edges : lts.edges) EXPECT_FALSE(edges.empty());
+}
+
+}  // namespace

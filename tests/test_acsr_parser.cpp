@@ -1,0 +1,201 @@
+// Tests for the ACSR concrete-syntax parser, including printer round-trips.
+#include <gtest/gtest.h>
+
+#include "acsr/builder.hpp"
+#include "acsr/parser.hpp"
+#include "acsr/printer.hpp"
+#include "acsr/semantics.hpp"
+#include "util/diagnostics.hpp"
+#include "versa/explorer.hpp"
+
+using namespace aadlsched;
+using namespace aadlsched::acsr;
+
+namespace {
+
+bool parse(Context& ctx, std::string_view src, std::string* errors = nullptr) {
+  util::DiagnosticEngine diags("test.acsr");
+  const bool ok = parse_module(ctx, src, diags);
+  if (errors) *errors = diags.render_all();
+  return ok;
+}
+
+TEST(AcsrParser, ParsesSimpleDefinition) {
+  Context ctx;
+  ASSERT_TRUE(parse(ctx, "P = {(cpu,1)} : NIL\n"));
+  const auto d = ctx.find_definition("P");
+  ASSERT_TRUE(d.has_value());
+  Printer pr(ctx);
+  EXPECT_EQ(pr.definition(*d), "P = {(cpu,1)} : NIL");
+}
+
+TEST(AcsrParser, ParsesEventPrefixes) {
+  Context ctx;
+  ASSERT_TRUE(parse(ctx, "P = (go!,2) . (ack?,1) . P"));
+  Printer pr(ctx);
+  EXPECT_EQ(pr.definition(*ctx.find_definition("P")),
+            "P = (go!,2) . (ack?,1) . P");
+}
+
+TEST(AcsrParser, ParsesChoiceAndGuards) {
+  Context ctx;
+  ASSERT_TRUE(parse(ctx, R"(
+    Count[n] = (n < 3) -> {(cpu,1)} : Count[n + 1]
+             + (n == 3) -> (done!,1) . NIL
+  )"));
+  const Definition& d = ctx.definition(*ctx.find_definition("Count"));
+  EXPECT_EQ(d.params.size(), 1u);
+  EXPECT_EQ(d.params[0], "n");
+
+  // The parsed process behaves correctly.
+  Semantics sem(ctx);
+  Builder b(ctx);
+  TermId t = b.start("Count", {0});
+  int timed = 0;
+  while (true) {
+    auto fan = sem.transitions(t);
+    ASSERT_EQ(fan.size(), 1u);
+    if (!fan[0].label.is_timed()) break;
+    ++timed;
+    t = fan[0].target;
+  }
+  EXPECT_EQ(timed, 3);
+}
+
+TEST(AcsrParser, ParsesParallelAndRestriction) {
+  Context ctx;
+  ASSERT_TRUE(parse(ctx, R"(
+    S = (go!,1) . NIL
+    R = (go?,1) . NIL
+    Sys = (S || R) \ {go}
+  )"));
+  Semantics sem(ctx);
+  Builder b(ctx);
+  const auto fan = sem.transitions(b.start("Sys"));
+  ASSERT_EQ(fan.size(), 1u);
+  EXPECT_EQ(fan[0].label.kind, Label::Kind::Tau);
+}
+
+TEST(AcsrParser, ParsesScope) {
+  Context ctx;
+  ASSERT_TRUE(parse(ctx, R"(
+    Busy = {(cpu,1)} : Busy
+    S = scope(Busy, 2, timeout -> (late!,1) . NIL)
+  )"));
+  Semantics sem(ctx);
+  Builder b(ctx);
+  TermId t = b.start("S");
+  for (int i = 0; i < 2; ++i) {
+    auto fan = sem.transitions(t);
+    ASSERT_EQ(fan.size(), 1u);
+    t = fan[0].target;
+  }
+  const auto fan = sem.transitions(t);
+  ASSERT_EQ(fan.size(), 1u);
+  EXPECT_EQ(render_label(ctx, fan[0].label), "late!:1");
+}
+
+TEST(AcsrParser, ParsesScopeWithExceptionAndInterrupt) {
+  Context ctx;
+  ASSERT_TRUE(parse(ctx, R"(
+    Body = (quit!,1) . NIL + {(cpu,1)} : Body
+    S = scope(Body, inf, exc quit -> (out!,1) . NIL, intr -> (irq?,1) . NIL)
+  )"));
+  EXPECT_TRUE(ctx.find_definition("S").has_value());
+}
+
+TEST(AcsrParser, ParsesExpressionsWithPrecedence) {
+  Context ctx;
+  ASSERT_TRUE(parse(ctx, "P[x] = {(cpu, 1 + x * 2)} : P[min(x + 1, 5)]"));
+  Semantics sem(ctx);
+  Builder b(ctx);
+  const auto fan = sem.transitions(b.start("P", {3}));
+  ASSERT_EQ(fan.size(), 1u);
+  EXPECT_EQ(render_label(ctx, fan[0].label), "{(cpu,7)}");
+}
+
+TEST(AcsrParser, ReportsUnknownParameter) {
+  Context ctx;
+  std::string errors;
+  EXPECT_FALSE(parse(ctx, "P = {(cpu, y)} : NIL", &errors));
+  EXPECT_NE(errors.find("unknown parameter 'y'"), std::string::npos);
+}
+
+TEST(AcsrParser, ReportsSyntaxError) {
+  Context ctx;
+  std::string errors;
+  EXPECT_FALSE(parse(ctx, "P = + NIL", &errors));
+  EXPECT_FALSE(errors.empty());
+}
+
+TEST(AcsrParser, SpeculativeGuardFailureLeavesNoDiagnostics) {
+  Context ctx;
+  std::string errors;
+  // "(S || R)" first tries to parse as a guard; the rewind must not leave
+  // errors behind.
+  EXPECT_TRUE(parse(ctx,
+                    "S = (a!,1) . NIL\nR = (b!,1) . NIL\nSys = (S || R)",
+                    &errors));
+  EXPECT_TRUE(errors.empty()) << errors;
+}
+
+TEST(AcsrParser, CommentsAreSkipped) {
+  Context ctx;
+  EXPECT_TRUE(parse(ctx, R"(
+    # full-line comment
+    P = {(cpu,1)} : NIL  // trailing comment
+  )"));
+}
+
+TEST(AcsrParser, RoundTripThroughPrinter) {
+  // Build definitions programmatically, print, reparse, print again; the
+  // two renderings must agree.
+  Context ctx1;
+  Builder b(ctx1);
+  b.def("Task", {"e", "t"},
+        b.pick({b.when(b.lt(b.p(0), b.c(2)),
+                       b.act({{"cpu", b.add(b.p(1), b.c(1))}},
+                             b.call("Task", {b.add(b.p(0), b.c(1)),
+                                             b.add(b.p(1), b.c(1))}))),
+                b.when(b.ge(b.p(0), b.c(2)),
+                       b.send("done", b.c(1), b.call("Task", {b.c(0),
+                                                              b.c(0)})))}));
+  b.def("Queue", {"n"},
+        b.pick({b.recv("enq", b.c(1), b.call("Queue", {b.min(
+                    b.add(b.p(0), b.c(1)), b.c(3))})),
+                b.when(b.gt(b.p(0), b.c(0)),
+                       b.send("deq", b.c(1),
+                              b.call("Queue", {b.sub(b.p(0), b.c(1))}))),
+                b.idle(b.call("Queue", {b.p(0)}))}));
+
+  Printer p1(ctx1);
+  const std::string printed = p1.module();
+
+  Context ctx2;
+  std::string errors;
+  ASSERT_TRUE(parse(ctx2, printed, &errors)) << errors << "\n" << printed;
+  Printer p2(ctx2);
+  EXPECT_EQ(p2.module(), printed);
+}
+
+TEST(AcsrParser, ParsedModelExploresSameAsBuilt) {
+  // A tiny two-task system written textually; explored verdicts must match
+  // an identical Builder-built system.
+  const char* src = R"(
+    Hi[e] = (e < 1) -> {(cpu,2)} : Hi[e + 1] + (e == 1) -> {} : Hi[0]
+    Lo[e] = (e < 1) -> {(cpu,1)} : Lo[e + 1]
+          + (e < 1) -> {} : Lo[e]
+          + (e == 1) -> {} : Lo[0]
+    Sys = Hi[0] || Lo[0]
+  )";
+  Context ctx;
+  ASSERT_TRUE(parse(ctx, src));
+  Semantics sem(ctx);
+  Builder b(ctx);
+  auto result = versa::explore(sem, b.start("Sys"));
+  EXPECT_TRUE(result.complete);
+  EXPECT_FALSE(result.deadlock_found);
+  EXPECT_GT(result.states, 1u);
+}
+
+}  // namespace

@@ -1,0 +1,232 @@
+// Property-based invariants across the stack, swept with parameterized
+// gtest over seeds and model shapes:
+//   * the prioritized relation is a subset of the unprioritized one, and
+//     nonempty whenever the unprioritized one is;
+//   * exploration is deterministic (same model, same state count);
+//   * translated models are livelock-free apart from the detected stuck
+//     states: every reachable state either is stuck or can take a timed
+//     step within a bounded number of instantaneous steps;
+//   * the committed-demand exploration verdict is monotone: shrinking a
+//     WCET never turns a schedulable set unschedulable (no anomalies on
+//     independent periodic tasks);
+//   * multi-file AADL parsing composes packages.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "acsr/semantics.hpp"
+#include "aadl/parser.hpp"
+#include "core/taskset_aadl.hpp"
+#include "sched/workload.hpp"
+#include "translate/translator.hpp"
+#include "versa/explorer.hpp"
+
+using namespace aadlsched;
+
+namespace {
+
+struct Built {
+  acsr::Context ctx;
+  acsr::TermId initial = acsr::kNil;
+  bool ok = false;
+};
+
+void build(Built& out, const sched::TaskSet& ts,
+           sched::SchedulingPolicy policy) {
+  util::DiagnosticEngine diags;
+  aadl::Model model;
+  if (!aadl::parse_aadl(model, core::taskset_to_aadl(ts, policy), diags))
+    return;
+  auto inst = aadl::instantiate(model, "Root.impl", diags);
+  if (!inst) return;
+  translate::TranslateOptions topts;
+  topts.quantum_ns = 1'000'000;
+  auto tr = translate::translate(out.ctx, *inst, diags, topts);
+  if (!tr) return;
+  out.initial = tr->initial;
+  out.ok = true;
+}
+
+sched::TaskSet seeded_set(std::uint64_t seed) {
+  sched::WorkloadSpec spec;
+  spec.task_count = 3;
+  spec.total_utilization = 0.85;
+  spec.periods = {3, 4, 5, 6};
+  sched::TaskSet ts = sched::generate_workload(spec, seed);
+  sched::assign_rate_monotonic(ts);
+  return ts;
+}
+
+class StackProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StackProperties, PrioritizedIsSubsetOfUnprioritized) {
+  Built b;
+  build(b, seeded_set(GetParam()), sched::SchedulingPolicy::FixedPriority);
+  ASSERT_TRUE(b.ok);
+  acsr::Semantics sem(b.ctx);
+  const auto lts = versa::build_lts(sem, b.initial, 3000);
+  for (acsr::TermId s : lts.states) {
+    const auto full = sem.transitions(s);
+    const auto pri = sem.prioritized(s);
+    EXPECT_LE(pri.size(), full.size());
+    if (!full.empty()) {
+      EXPECT_FALSE(pri.empty());
+    }
+    for (const auto& tr : pri) {
+      EXPECT_NE(std::find(full.begin(), full.end(), tr), full.end());
+    }
+  }
+}
+
+TEST_P(StackProperties, ExplorationIsDeterministic) {
+  Built a, b;
+  build(a, seeded_set(GetParam()), sched::SchedulingPolicy::FixedPriority);
+  build(b, seeded_set(GetParam()), sched::SchedulingPolicy::FixedPriority);
+  ASSERT_TRUE(a.ok);
+  ASSERT_TRUE(b.ok);
+  acsr::Semantics sa(a.ctx), sb(b.ctx);
+  const auto ra = versa::explore(sa, a.initial);
+  const auto rb = versa::explore(sb, b.initial);
+  EXPECT_EQ(ra.states, rb.states);
+  EXPECT_EQ(ra.transitions, rb.transitions);
+  EXPECT_EQ(ra.deadlock_found, rb.deadlock_found);
+  EXPECT_EQ(ra.trace.size(), rb.trace.size());
+}
+
+TEST_P(StackProperties, TimeDivergesFromEveryNonStuckState) {
+  // From every reachable state, some timed action is reachable within a
+  // bounded number of instantaneous steps — i.e. the model has no hidden
+  // livelocks beyond the stuck states the explorer reports.
+  Built b;
+  build(b, seeded_set(GetParam()), sched::SchedulingPolicy::FixedPriority);
+  ASSERT_TRUE(b.ok);
+  acsr::Semantics sem(b.ctx);
+  const auto lts = versa::build_lts(sem, b.initial, 3000);
+  ASSERT_LT(lts.states.size(), 3000u) << "state cap hit; enlarge";
+  for (std::size_t i = 0; i < lts.states.size(); ++i) {
+    // BFS over instantaneous edges looking for a timed edge.
+    std::set<acsr::TermId> seen{lts.states[i]};
+    std::vector<acsr::TermId> frontier{lts.states[i]};
+    bool timed_reachable = false;
+    bool stuck_reachable = false;
+    for (int depth = 0; depth < 32 && !timed_reachable && !frontier.empty();
+         ++depth) {
+      std::vector<acsr::TermId> next;
+      for (acsr::TermId s : frontier) {
+        const auto fan = sem.prioritized(s);
+        if (fan.empty()) {
+          stuck_reachable = true;
+          continue;
+        }
+        for (const auto& tr : fan) {
+          if (tr.label.is_timed()) {
+            timed_reachable = true;
+            break;
+          }
+          if (seen.insert(tr.target).second) next.push_back(tr.target);
+        }
+        if (timed_reachable) break;
+      }
+      frontier = std::move(next);
+    }
+    EXPECT_TRUE(timed_reachable || stuck_reachable)
+        << "state " << i << " can neither advance time nor terminate";
+  }
+}
+
+TEST_P(StackProperties, ShrinkingWcetIsMonotone) {
+  sched::TaskSet ts = seeded_set(GetParam());
+  Built full;
+  build(full, ts, sched::SchedulingPolicy::FixedPriority);
+  ASSERT_TRUE(full.ok);
+  acsr::Semantics sf(full.ctx);
+  const bool full_ok = versa::explore(sf, full.initial).schedulable();
+
+  // Shrink the largest task's WCET by one quantum (if possible).
+  std::size_t fattest = 0;
+  for (std::size_t i = 0; i < ts.tasks.size(); ++i)
+    if (ts.tasks[i].wcet > ts.tasks[fattest].wcet) fattest = i;
+  if (ts.tasks[fattest].wcet <= 1) return;
+  ts.tasks[fattest].wcet -= 1;
+  ts.tasks[fattest].bcet = std::min(ts.tasks[fattest].bcet,
+                                    ts.tasks[fattest].wcet);
+  Built less;
+  build(less, ts, sched::SchedulingPolicy::FixedPriority);
+  ASSERT_TRUE(less.ok);
+  acsr::Semantics sl(less.ctx);
+  const bool less_ok = versa::explore(sl, less.initial).schedulable();
+  if (full_ok) {
+    EXPECT_TRUE(less_ok) << "seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StackProperties,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+TEST(MultiFile, PackagesComposeAcrossParses) {
+  aadl::Model model;
+  util::DiagnosticEngine diags;
+  ASSERT_TRUE(aadl::parse_aadl(model, R"(
+    package Lib
+    public
+      processor Cpu
+      properties
+        Scheduling_Protocol => RATE_MONOTONIC_PROTOCOL;
+      end Cpu;
+      thread Worker
+      end Worker;
+      thread implementation Worker.impl
+      properties
+        Dispatch_Protocol => Periodic;
+        Period => 4 ms;
+        Compute_Execution_Time => 1 ms .. 1 ms;
+      end Worker.impl;
+    end Lib;
+  )", diags));
+  ASSERT_TRUE(aadl::parse_aadl(model, R"(
+    package App
+    public
+      with Lib;
+      system Root
+      end Root;
+      system implementation Root.impl
+      subcomponents
+        cpu : processor Lib::Cpu;
+        w   : thread Lib::Worker.impl;
+      properties
+        Actual_Processor_Binding => reference (cpu) applies to w;
+      end Root.impl;
+    end App;
+  )", diags)) << diags.render_all();
+  auto inst = aadl::instantiate(model, "Root.impl", diags);
+  ASSERT_NE(inst, nullptr) << diags.render_all();
+  EXPECT_FALSE(diags.has_errors()) << diags.render_all();
+  EXPECT_EQ(inst->threads.size(), 1u);
+  ASSERT_TRUE(inst->bindings.count(inst->find("w")));
+}
+
+TEST(MultiFile, QualifiedRootName) {
+  aadl::Model model;
+  util::DiagnosticEngine diags;
+  ASSERT_TRUE(aadl::parse_aadl(model, R"(
+    package Pkg
+    public
+      processor C
+      end C;
+      thread T
+      end T;
+      system R
+      end R;
+      system implementation R.impl
+      subcomponents
+        c : processor C;
+      end R.impl;
+    end Pkg;
+  )", diags));
+  auto inst = aadl::instantiate(model, "Pkg::R.impl", diags);
+  // Qualified lookup of the root must work too.
+  EXPECT_NE(inst, nullptr);
+}
+
+}  // namespace

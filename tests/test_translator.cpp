@@ -1,0 +1,709 @@
+// Tests for the AADL -> ACSR translation: skeleton structure (Fig. 4/5),
+// dispatcher behaviour per protocol (Fig. 6), queue processes (§4.4), bus
+// refinement (§4.2), priority encodings (§5) and the §4.1 precondition
+// checks.
+#include <gtest/gtest.h>
+
+#include "aadl/parser.hpp"
+#include "acsr/printer.hpp"
+#include "acsr/semantics.hpp"
+#include "core/taskset_aadl.hpp"
+#include "translate/translator.hpp"
+#include "versa/explorer.hpp"
+#include "versa/inspection.hpp"
+
+using namespace aadlsched;
+using namespace aadlsched::translate;
+
+namespace {
+
+struct Pipeline {
+  aadl::Model model;
+  std::unique_ptr<aadl::InstanceModel> instance;
+  acsr::Context ctx;
+  std::optional<Translation> translation;
+  util::DiagnosticEngine diags{"test.aadl"};
+
+  bool load(std::string_view src, std::string_view root,
+            const TranslateOptions& opts = {}) {
+    if (!aadl::parse_aadl(model, src, diags)) return false;
+    instance = aadl::instantiate(model, root, diags);
+    if (!instance || diags.has_errors()) return false;
+    translation = aadlsched::translate::translate(ctx, *instance, diags, opts);
+    return translation.has_value();
+  }
+};
+
+/// Single periodic thread, C in [cmin,cmax] quanta of 1 ms, period/deadline
+/// in quanta.
+std::string one_thread(int cmin, int cmax, int period, int deadline) {
+  sched::TaskSet ts;
+  sched::Task t;
+  t.name = "t0";
+  t.bcet = cmin;
+  t.wcet = cmax;
+  t.period = period;
+  t.deadline = deadline;
+  t.priority = 1;
+  ts.tasks.push_back(t);
+  return core::taskset_to_aadl(ts, sched::SchedulingPolicy::FixedPriority);
+}
+
+TranslateOptions ms_quantum() {
+  TranslateOptions opts;
+  opts.quantum_ns = 1'000'000;  // taskset_to_aadl default: 1 quantum = 1 ms
+  return opts;
+}
+
+TEST(Translator, GeneratesSkeletonAndDispatcherDefs) {
+  Pipeline p;
+  ASSERT_TRUE(p.load(one_thread(1, 2, 5, 5), "Root.impl", ms_quantum()))
+      << p.diags.render_all();
+  ASSERT_EQ(p.translation->threads.size(), 1u);
+  const TranslatedThread& t = p.translation->threads[0];
+  EXPECT_EQ(t.path, "t0");
+  EXPECT_EQ(t.cmin, 1);
+  EXPECT_EQ(t.cmax, 2);
+  EXPECT_EQ(t.period, 5);
+  EXPECT_EQ(t.deadline, 5);
+  EXPECT_TRUE(p.ctx.find_definition("T_t0_Await").has_value());
+  EXPECT_TRUE(p.ctx.find_definition("T_t0_Compute").has_value());
+  EXPECT_TRUE(p.ctx.find_definition("D_t0_Idle").has_value());
+  EXPECT_TRUE(p.ctx.find_definition("D_t0_Wait").has_value());
+  // dispatch/done events are restricted.
+  EXPECT_EQ(p.translation->restricted_events.size(), 2u);
+}
+
+TEST(Translator, SingleThreadLifecycle) {
+  // Follow the translated system step by step (Fig. 4/5/6a): dispatch at
+  // t=0, one or two computation quanta, completion, idle to the period.
+  Pipeline p;
+  ASSERT_TRUE(p.load(one_thread(2, 2, 4, 4), "Root.impl", ms_quantum()));
+  acsr::Semantics sem(p.ctx);
+  acsr::TermId s = p.translation->initial;
+
+  // Step 1: the dispatch tau (dispatcher cannot idle, §4.3).
+  auto fan = sem.prioritized(s);
+  ASSERT_EQ(fan.size(), 1u);
+  EXPECT_EQ(fan[0].label.kind, acsr::Label::Kind::Tau);
+  EXPECT_EQ(p.ctx.event_name(fan[0].label.event), "dispatch_t0");
+  s = fan[0].target;
+
+  // Thread is now in Compute[0,0].
+  {
+    const auto comps = versa::inspect(p.ctx, s);
+    const auto* t =
+        versa::find_by_role(comps, "t0", acsr::DefRole::ThreadState);
+    ASSERT_NE(t, nullptr);
+    EXPECT_EQ(t->state_name, "Compute");
+    EXPECT_EQ(t->params[0], 0);
+  }
+
+  // Steps 2-3: two computation quanta (alone on the cpu: the prioritized
+  // relation kills the preempted branch).
+  for (int q = 0; q < 2; ++q) {
+    fan = sem.prioritized(s);
+    ASSERT_EQ(fan.size(), 1u) << "quantum " << q;
+    EXPECT_TRUE(fan[0].label.is_timed());
+    EXPECT_EQ(render_label(p.ctx, fan[0].label), "{(cpu_cpu0,3)}");
+    s = fan[0].target;
+  }
+
+  // Step 4: completion (done tau) — forced, since e == cmax leaves the
+  // thread no timed step.
+  fan = sem.prioritized(s);
+  ASSERT_EQ(fan.size(), 1u);
+  EXPECT_EQ(fan[0].label.kind, acsr::Label::Kind::Tau);
+  EXPECT_EQ(p.ctx.event_name(fan[0].label.event), "done_t0");
+  s = fan[0].target;
+
+  // Steps 5-6: idle quanta until the next period.
+  for (int q = 0; q < 2; ++q) {
+    fan = sem.prioritized(s);
+    ASSERT_EQ(fan.size(), 1u);
+    EXPECT_EQ(render_label(p.ctx, fan[0].label), "{}");
+    s = fan[0].target;
+  }
+
+  // Step 7: next dispatch.
+  fan = sem.prioritized(s);
+  ASSERT_EQ(fan.size(), 1u);
+  EXPECT_EQ(p.ctx.event_name(fan[0].label.event), "dispatch_t0");
+}
+
+TEST(Translator, ExecutionTimeRangeStaysNondeterministic) {
+  // cmin=1, cmax=3 under the committed-demand model: dispatch commits a
+  // demand in {1,2,3}; the three branches survive prioritization as
+  // distinct timed successors, so exploration covers every execution time.
+  Pipeline p;
+  ASSERT_TRUE(p.load(one_thread(1, 3, 8, 8), "Root.impl", ms_quantum()));
+  acsr::Semantics sem(p.ctx);
+  acsr::TermId s = p.translation->initial;
+  s = sem.prioritized(s)[0].target;  // dispatch
+  const auto fan = sem.prioritized(s);
+  ASSERT_EQ(fan.size(), 3u);
+  for (const auto& tr : fan) EXPECT_TRUE(tr.label.is_timed());
+  // Following the demand=1 branch, completion is forced next.
+  const auto after = sem.prioritized(fan[0].target);
+  bool has_done = false;
+  for (const auto& tr : after)
+    has_done |= tr.label.kind == acsr::Label::Kind::Tau;
+  EXPECT_TRUE(has_done);
+}
+
+TEST(Translator, LateCompletionModelMatchesLiteralFig5) {
+  // Under the literal Fig. 5 semantics the same state offers both "keep
+  // computing" and "complete now" after cmin quanta.
+  Pipeline p;
+  TranslateOptions opts = ms_quantum();
+  opts.time_model = ExecutionTimeModel::LateCompletion;
+  ASSERT_TRUE(p.load(one_thread(1, 3, 8, 8), "Root.impl", opts));
+  acsr::Semantics sem(p.ctx);
+  acsr::TermId s = p.translation->initial;
+  s = sem.prioritized(s)[0].target;  // dispatch
+  s = sem.prioritized(s)[0].target;  // first quantum
+  const auto fan = sem.prioritized(s);
+  ASSERT_EQ(fan.size(), 2u);
+  bool has_timed = false, has_done = false;
+  for (const auto& tr : fan) {
+    has_timed |= tr.label.is_timed();
+    has_done |= tr.label.kind == acsr::Label::Kind::Tau;
+  }
+  EXPECT_TRUE(has_timed);
+  EXPECT_TRUE(has_done);
+}
+
+TEST(Translator, CommittedDemandDetectsRangeOnlyMiss) {
+  // The semantic gap found during reproduction: (C=2,T=D=4,hi) +
+  // (C=[2,4],T=D=6,lo) misses only when lo's demand exceeds 2. The
+  // committed model reports the miss; the literal Fig. 5 model lets lo
+  // bail out at cmin and calls the system schedulable.
+  sched::TaskSet ts;
+  sched::Task hi;
+  hi.name = "hi";
+  hi.wcet = hi.bcet = 2;
+  hi.period = hi.deadline = 4;
+  hi.priority = 2;
+  sched::Task lo;
+  lo.name = "lo";
+  lo.bcet = 2;
+  lo.wcet = 4;
+  lo.period = lo.deadline = 6;
+  lo.priority = 1;
+  ts.tasks = {hi, lo};
+  const std::string src =
+      core::taskset_to_aadl(ts, sched::SchedulingPolicy::FixedPriority);
+
+  Pipeline committed;
+  ASSERT_TRUE(committed.load(src, "Root.impl", ms_quantum()));
+  acsr::Semantics sc(committed.ctx);
+  EXPECT_TRUE(
+      versa::explore(sc, committed.translation->initial).deadlock_found);
+
+  Pipeline literal;
+  TranslateOptions opts = ms_quantum();
+  opts.time_model = ExecutionTimeModel::LateCompletion;
+  ASSERT_TRUE(literal.load(src, "Root.impl", opts));
+  acsr::Semantics sl(literal.ctx);
+  const auto r = versa::explore(sl, literal.translation->initial);
+  EXPECT_TRUE(r.complete);
+  EXPECT_FALSE(r.deadlock_found);
+}
+
+TEST(Translator, DeadlineMissDeadlocks) {
+  // C=3 > D=2: the thread cannot make its deadline.
+  Pipeline p;
+  ASSERT_TRUE(p.load(one_thread(3, 3, 5, 2), "Root.impl", ms_quantum()));
+  acsr::Semantics sem(p.ctx);
+  const auto r = versa::explore(sem, p.translation->initial);
+  EXPECT_TRUE(r.deadlock_found);
+}
+
+TEST(Translator, TwoThreadsPreemption) {
+  // RM: short-period thread preempts long-period thread; both meet
+  // deadlines at U = 1.
+  sched::TaskSet ts;
+  sched::Task hi;
+  hi.name = "hi";
+  hi.wcet = hi.bcet = 1;
+  hi.period = hi.deadline = 2;
+  sched::Task lo;
+  lo.name = "lo";
+  lo.wcet = lo.bcet = 2;
+  lo.period = lo.deadline = 4;
+  ts.tasks = {hi, lo};
+  Pipeline p;
+  ASSERT_TRUE(p.load(core::taskset_to_aadl(ts, sched::SchedulingPolicy::Edf),
+                     "Root.impl", ms_quantum()))
+      << p.diags.render_all();
+  acsr::Semantics sem(p.ctx);
+  const auto r = versa::explore(sem, p.translation->initial);
+  EXPECT_TRUE(r.complete);
+  EXPECT_FALSE(r.deadlock_found) << "EDF schedules U=1";
+}
+
+TEST(Translator, RequiresBinding) {
+  Pipeline p;
+  EXPECT_FALSE(p.load(R"(
+    package P
+    public
+      thread T
+      end T;
+      thread implementation T.impl
+      properties
+        Dispatch_Protocol => Periodic;
+        Period => 10 ms;
+        Compute_Execution_Time => 1 ms .. 1 ms;
+      end T.impl;
+      processor C
+      properties
+        Scheduling_Protocol => RATE_MONOTONIC_PROTOCOL;
+      end C;
+      system R
+      end R;
+      system implementation R.impl
+      subcomponents
+        t : thread T.impl;
+        c : processor C;
+      end R.impl;
+    end P;
+  )", "R.impl", ms_quantum()));
+  EXPECT_NE(p.diags.render_all().find("not bound"), std::string::npos);
+}
+
+TEST(Translator, RequiresTriggerForSporadic) {
+  sched::TaskSet ts;
+  sched::Task t;
+  t.name = "s";
+  t.wcet = t.bcet = 1;
+  t.period = 5;
+  t.deadline = 5;
+  t.priority = 1;
+  t.kind = sched::DispatchKind::Sporadic;
+  ts.tasks = {t};
+  std::string src =
+      core::taskset_to_aadl(ts, sched::SchedulingPolicy::FixedPriority);
+  // Strip the connection so the sporadic thread has no trigger.
+  const auto pos = src.find("  connections");
+  ASSERT_NE(pos, std::string::npos);
+  const auto end = src.find("  properties", pos);
+  src.erase(pos, end - pos);
+  Pipeline p;
+  EXPECT_FALSE(p.load(src, "Root.impl", ms_quantum()));
+  EXPECT_NE(p.diags.render_all().find("no incoming event connection"),
+            std::string::npos);
+}
+
+TEST(Translator, SporadicRespectsMinimumSeparation) {
+  // A sporadic thread triggered by a periodic device; explore and verify
+  // no deadlock, and that the Separation state appears in the reachable
+  // states.
+  sched::TaskSet ts;
+  sched::Task t;
+  t.name = "s";
+  t.wcet = t.bcet = 1;
+  t.period = 3;
+  t.deadline = 3;
+  t.priority = 1;
+  t.kind = sched::DispatchKind::Sporadic;
+  ts.tasks = {t};
+  Pipeline p;
+  ASSERT_TRUE(p.load(
+      core::taskset_to_aadl(ts, sched::SchedulingPolicy::FixedPriority),
+      "Root.impl", ms_quantum()))
+      << p.diags.render_all();
+  acsr::Semantics sem(p.ctx);
+  const auto lts = versa::build_lts(sem, p.translation->initial, 10'000);
+  bool saw_separation = false;
+  for (acsr::TermId s : lts.states) {
+    for (const auto& c : versa::inspect(p.ctx, s))
+      saw_separation |= c.state_name == "Separation";
+  }
+  EXPECT_TRUE(saw_separation);
+  for (const auto& edges : lts.edges) EXPECT_FALSE(edges.empty());
+}
+
+TEST(Translator, AperiodicOverloadDeadlocks) {
+  // An aperiodic thread with wcet 2 and deadline 2 fed by an unconstrained
+  // environment: back-to-back events plus queueing make it miss.
+  sched::TaskSet ts;
+  sched::Task t;
+  t.name = "a";
+  t.wcet = t.bcet = 2;
+  t.period = 4;  // ignored for aperiodic
+  t.deadline = 2;
+  t.priority = 1;
+  t.kind = sched::DispatchKind::Aperiodic;
+  sched::Task load;
+  load.name = "p";
+  load.wcet = load.bcet = 1;
+  load.period = load.deadline = 2;
+  load.priority = 2;
+  ts.tasks = {t, load};
+  Pipeline p;
+  ASSERT_TRUE(p.load(
+      core::taskset_to_aadl(ts, sched::SchedulingPolicy::FixedPriority),
+      "Root.impl", ms_quantum()))
+      << p.diags.render_all();
+  acsr::Semantics sem(p.ctx);
+  const auto r = versa::explore(sem, p.translation->initial);
+  // With the periodic load stealing every other quantum, the aperiodic
+  // thread (needs 2 quanta within 2) must miss in the worst case.
+  EXPECT_TRUE(r.deadlock_found);
+}
+
+TEST(Translator, BusRefinementAddsBusResource) {
+  Pipeline p;
+  ASSERT_TRUE(p.load(R"(
+    package P
+    public
+      bus B
+      end B;
+      processor C
+      properties
+        Scheduling_Protocol => RATE_MONOTONIC_PROTOCOL;
+      end C;
+      thread Src
+      features
+        o : out data port;
+      end Src;
+      thread implementation Src.impl
+      properties
+        Dispatch_Protocol => Periodic;
+        Period => 4 ms;
+        Compute_Execution_Time => 2 ms .. 2 ms;
+      end Src.impl;
+      thread Dst
+      features
+        i : in data port;
+      end Dst;
+      thread implementation Dst.impl
+      properties
+        Dispatch_Protocol => Periodic;
+        Period => 4 ms;
+        Compute_Execution_Time => 1 ms .. 1 ms;
+      end Dst.impl;
+      system R
+      end R;
+      system implementation R.impl
+      subcomponents
+        s  : thread Src.impl;
+        d  : thread Dst.impl;
+        c1 : processor C;
+        c2 : processor C;
+        b  : bus B;
+      connections
+        conn : port s.o -> d.i;
+      properties
+        Actual_Processor_Binding => reference (c1) applies to s;
+        Actual_Processor_Binding => reference (c2) applies to d;
+        Actual_Connection_Binding => reference (b) applies to conn;
+      end R.impl;
+    end P;
+  )", "R.impl", ms_quantum()))
+      << p.diags.render_all();
+
+  // The source thread's final computation step must use the bus: find a
+  // reachable timed action using both cpu_c1 and bus_b.
+  acsr::Semantics sem(p.ctx);
+  const auto lts = versa::build_lts(sem, p.translation->initial, 10'000);
+  bool saw_bus_step = false;
+  for (const auto& edges : lts.edges) {
+    for (const auto& tr : edges) {
+      if (!tr.label.is_timed()) continue;
+      const std::string s = render_label(p.ctx, tr.label);
+      if (s.find("bus_b") != std::string::npos &&
+          s.find("cpu_c1") != std::string::npos)
+        saw_bus_step = true;
+    }
+  }
+  EXPECT_TRUE(saw_bus_step);
+  // Deadlock-free: plenty of slack.
+  const auto r = versa::explore(sem, p.translation->initial);
+  EXPECT_FALSE(r.deadlock_found);
+}
+
+TEST(Translator, EdfPrioritiesIncreaseWithElapsedTime) {
+  // Under EDF the cpu priority of a thread grows as t advances (pi =
+  // dmax - (d - t) + 2, §5).
+  Pipeline q;
+  sched::TaskSet ts;
+  sched::Task t;
+  t.name = "x";
+  t.wcet = t.bcet = 3;
+  t.period = t.deadline = 6;
+  ts.tasks = {t};
+  ASSERT_TRUE(q.load(core::taskset_to_aadl(ts, sched::SchedulingPolicy::Edf),
+                     "Root.impl", ms_quantum()));
+  acsr::Semantics sem(q.ctx);
+  acsr::TermId s = q.translation->initial;
+  s = sem.prioritized(s)[0].target;  // dispatch
+  std::vector<std::string> labels;
+  for (int i = 0; i < 3; ++i) {
+    const auto fan = sem.prioritized(s);
+    ASSERT_FALSE(fan.empty());
+    labels.push_back(render_label(q.ctx, fan[0].label));
+    s = fan[0].target;
+  }
+  // d = dmax = 6: pi(t) = 6 - (6 - t) + 2 = t + 2.
+  EXPECT_EQ(labels[0], "{(cpu_cpu0,2)}");
+  EXPECT_EQ(labels[1], "{(cpu_cpu0,3)}");
+  EXPECT_EQ(labels[2], "{(cpu_cpu0,4)}");
+}
+
+TEST(Translator, EdfBeatsRmOnTheClassicCounterexample) {
+  // (C=2,T=4) and (C=3,T=6): U = 1. EDF schedulable, RM misses.
+  sched::TaskSet ts;
+  sched::Task a;
+  a.name = "a";
+  a.wcet = a.bcet = 2;
+  a.period = a.deadline = 4;
+  sched::Task b;
+  b.name = "b";
+  b.wcet = b.bcet = 3;
+  b.period = b.deadline = 6;
+  ts.tasks = {a, b};
+  sched::assign_rate_monotonic(ts);
+
+  Pipeline rm;
+  ASSERT_TRUE(rm.load(
+      core::taskset_to_aadl(ts, sched::SchedulingPolicy::FixedPriority),
+      "Root.impl", ms_quantum()));
+  acsr::Semantics rm_sem(rm.ctx);
+  EXPECT_TRUE(versa::explore(rm_sem, rm.translation->initial).deadlock_found);
+
+  Pipeline edf;
+  ASSERT_TRUE(edf.load(core::taskset_to_aadl(ts, sched::SchedulingPolicy::Edf),
+                       "Root.impl", ms_quantum()));
+  acsr::Semantics edf_sem(edf.ctx);
+  const auto r = versa::explore(edf_sem, edf.translation->initial);
+  EXPECT_TRUE(r.complete);
+  EXPECT_FALSE(r.deadlock_found);
+}
+
+TEST(Translator, LlfSchedulesFullUtilization) {
+  sched::TaskSet ts;
+  sched::Task a;
+  a.name = "a";
+  a.wcet = a.bcet = 2;
+  a.period = a.deadline = 4;
+  sched::Task b;
+  b.name = "b";
+  b.wcet = b.bcet = 3;
+  b.period = b.deadline = 6;
+  ts.tasks = {a, b};
+  Pipeline p;
+  ASSERT_TRUE(p.load(core::taskset_to_aadl(ts, sched::SchedulingPolicy::Llf),
+                     "Root.impl", ms_quantum()));
+  acsr::Semantics sem(p.ctx);
+  const auto r = versa::explore(sem, p.translation->initial);
+  EXPECT_TRUE(r.complete);
+  EXPECT_FALSE(r.deadlock_found);
+}
+
+TEST(Translator, OrderedInstantsShrinkTheStateSpace) {
+  sched::TaskSet ts;
+  for (int i = 0; i < 3; ++i) {
+    sched::Task t;
+    t.name = "t" + std::to_string(i);
+    t.wcet = t.bcet = 1;
+    t.period = t.deadline = 4;
+    t.priority = i + 1;
+    ts.tasks.push_back(t);
+  }
+  const std::string src =
+      core::taskset_to_aadl(ts, sched::SchedulingPolicy::FixedPriority);
+
+  TranslateOptions ordered = ms_quantum();
+  TranslateOptions unordered = ms_quantum();
+  unordered.ordered_instants = false;
+
+  Pipeline a, b;
+  ASSERT_TRUE(a.load(src, "Root.impl", ordered));
+  ASSERT_TRUE(b.load(src, "Root.impl", unordered));
+  acsr::Semantics sa(a.ctx), sb(b.ctx);
+  const auto ra = versa::explore(sa, a.translation->initial);
+  const auto rb = versa::explore(sb, b.translation->initial);
+  // Same verdict, fewer states.
+  EXPECT_EQ(ra.deadlock_found, rb.deadlock_found);
+  EXPECT_LT(ra.states, rb.states);
+}
+
+TEST(Translator, QueueOverflowErrorProtocolDeadlocks) {
+  // Unconstrained environment feeding a 1-slot queue with the Error
+  // protocol on a slow aperiodic consumer: overflow is reachable and must
+  // surface as a deadlock (§4.4).
+  Pipeline p;
+  ASSERT_TRUE(p.load(R"(
+    package P
+    public
+      device Env
+      features
+        tick : out event port;
+      end Env;
+      processor C
+      properties
+        Scheduling_Protocol => RATE_MONOTONIC_PROTOCOL;
+      end C;
+      thread A
+      features
+        trig : in event port;
+      end A;
+      thread implementation A.impl
+      properties
+        Dispatch_Protocol => Aperiodic;
+        Compute_Execution_Time => 2 ms .. 2 ms;
+        Deadline => 8 ms;
+      end A.impl;
+      system R
+      end R;
+      system implementation R.impl
+      subcomponents
+        a : thread A.impl;
+        c : processor C;
+        e : device Env;
+      connections
+        conn : port e.tick -> a.trig;
+      properties
+        Actual_Processor_Binding => reference (c) applies to a;
+        Overflow_Handling_Protocol => Error applies to conn;
+      end R.impl;
+    end P;
+  )", "R.impl", ms_quantum()))
+      << p.diags.render_all();
+  acsr::Semantics sem(p.ctx);
+  const auto r = versa::explore(sem, p.translation->initial);
+  EXPECT_TRUE(r.deadlock_found) << "env can always outpace the consumer";
+}
+
+TEST(Translator, QueueDropProtocolToleratesOverflow) {
+  Pipeline p;
+  ASSERT_TRUE(p.load(R"(
+    package P
+    public
+      device Env
+      features
+        tick : out event port;
+      end Env;
+      processor C
+      properties
+        Scheduling_Protocol => RATE_MONOTONIC_PROTOCOL;
+      end C;
+      thread A
+      features
+        trig : in event port;
+      end A;
+      thread implementation A.impl
+      properties
+        Dispatch_Protocol => Aperiodic;
+        Compute_Execution_Time => 1 ms .. 1 ms;
+        Deadline => 4 ms;
+      end A.impl;
+      system R
+      end R;
+      system implementation R.impl
+      subcomponents
+        a : thread A.impl;
+        c : processor C;
+        e : device Env;
+      connections
+        conn : port e.tick -> a.trig;
+      properties
+        Actual_Processor_Binding => reference (c) applies to a;
+      end R.impl;
+    end P;
+  )", "R.impl", ms_quantum()))
+      << p.diags.render_all();
+  acsr::Semantics sem(p.ctx);
+  const auto r = versa::explore(sem, p.translation->initial);
+  EXPECT_TRUE(r.complete);
+  EXPECT_FALSE(r.deadlock_found)
+      << "DropNewest absorbs the burst; C=1 within D=4 always fits";
+}
+
+TEST(Translator, AnytimeSendPolicyStillSound) {
+  // Same model under both send policies: verdicts agree for a simple
+  // pipeline (the anytime policy only widens when events arrive).
+  sched::TaskSet ts;
+  sched::Task src;
+  src.name = "s";
+  src.wcet = src.bcet = 1;
+  src.period = src.deadline = 4;
+  src.priority = 2;
+  sched::Task dst;
+  dst.name = "d";
+  dst.wcet = dst.bcet = 1;
+  dst.period = 4;
+  dst.deadline = 4;
+  dst.priority = 1;
+  dst.kind = sched::DispatchKind::Sporadic;
+  ts.tasks = {src, dst};
+  std::string aadl_src =
+      core::taskset_to_aadl(ts, sched::SchedulingPolicy::FixedPriority);
+  // Rewire: feed the sporadic thread from the periodic thread instead of
+  // the environment device.
+  // taskset_to_aadl gives t1 a device env1; replace the connection source.
+  const std::string from = "port env1.tick -> t1.trig";
+  const auto pos = aadl_src.find(from);
+  ASSERT_NE(pos, std::string::npos);
+  // Add an out event port to T0 and reroute.
+  aadl_src.replace(pos, from.size(), "port t0.evt -> t1.trig");
+  const std::string tdecl = "thread T0\n";
+  const auto tpos = aadl_src.find(tdecl);
+  ASSERT_NE(tpos, std::string::npos);
+  aadl_src.replace(tpos, tdecl.size(),
+                   "thread T0\n  features\n    evt : out event port;\n");
+
+  for (EventSendPolicy policy :
+       {EventSendPolicy::AtCompletion,
+        EventSendPolicy::OncePerDispatchAnytime}) {
+    Pipeline p;
+    TranslateOptions opts = ms_quantum();
+    opts.send_policy = policy;
+    ASSERT_TRUE(p.load(aadl_src, "Root.impl", opts)) << p.diags.render_all();
+    acsr::Semantics sem(p.ctx);
+    const auto r = versa::explore(sem, p.translation->initial);
+    EXPECT_TRUE(r.complete);
+    EXPECT_FALSE(r.deadlock_found)
+        << "policy " << static_cast<int>(policy);
+  }
+}
+
+TEST(Translator, BackgroundThreadRunsInSlackOnly) {
+  sched::TaskSet ts;
+  sched::Task fg;
+  fg.name = "fg";
+  fg.wcet = fg.bcet = 1;
+  fg.period = fg.deadline = 2;
+  fg.priority = 2;
+  sched::Task bg;
+  bg.name = "bg";
+  bg.wcet = bg.bcet = 3;
+  bg.period = 1;  // unused
+  bg.priority = 1;
+  bg.kind = sched::DispatchKind::Background;
+  ts.tasks = {fg, bg};
+  Pipeline p;
+  ASSERT_TRUE(p.load(
+      core::taskset_to_aadl(ts, sched::SchedulingPolicy::FixedPriority),
+      "Root.impl", ms_quantum()))
+      << p.diags.render_all();
+  acsr::Semantics sem(p.ctx);
+  const auto r = versa::explore(sem, p.translation->initial);
+  EXPECT_TRUE(r.complete);
+  EXPECT_FALSE(r.deadlock_found) << "background threads have no deadline";
+}
+
+TEST(Translator, RenderedAcsrMentionsPaperArtifacts) {
+  Pipeline p;
+  ASSERT_TRUE(p.load(one_thread(1, 2, 5, 5), "Root.impl", ms_quantum()));
+  acsr::Printer printer(p.ctx);
+  const std::string module = printer.module();
+  // Committed-demand model: parameters e, t and the committed demand c.
+  EXPECT_NE(module.find("T_t0_Compute[e, t, c]"), std::string::npos)
+      << module;
+  EXPECT_NE(module.find("dispatch_t0"), std::string::npos);
+  EXPECT_NE(module.find("done_t0"), std::string::npos);
+}
+
+}  // namespace

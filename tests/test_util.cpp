@@ -1,0 +1,183 @@
+// Unit tests for the util support library.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "util/diagnostics.hpp"
+#include "util/hash.hpp"
+#include "util/interner.hpp"
+#include "util/numeric.hpp"
+#include "util/rng.hpp"
+#include "util/string_utils.hpp"
+#include "util/thread_pool.hpp"
+
+namespace u = aadlsched::util;
+
+TEST(Interner, EmptyStringIsSymbolZero) {
+  u::Interner in;
+  EXPECT_EQ(in.intern(""), 0u);
+  EXPECT_EQ(in.str(0), "");
+}
+
+TEST(Interner, InterningIsIdempotent) {
+  u::Interner in;
+  const auto a = in.intern("cpu");
+  const auto b = in.intern("bus");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(in.intern("cpu"), a);
+  EXPECT_EQ(in.str(a), "cpu");
+  EXPECT_EQ(in.str(b), "bus");
+}
+
+TEST(Interner, LookupDoesNotIntern) {
+  u::Interner in;
+  u::Symbol s = 99;
+  EXPECT_FALSE(in.lookup("ghost", s));
+  const std::size_t before = in.size();
+  EXPECT_EQ(in.size(), before);
+  in.intern("ghost");
+  EXPECT_TRUE(in.lookup("ghost", s));
+}
+
+TEST(Interner, SurvivesRehashes) {
+  u::Interner in;
+  std::vector<u::Symbol> syms;
+  for (int i = 0; i < 10000; ++i)
+    syms.push_back(in.intern("sym_" + std::to_string(i)));
+  for (int i = 0; i < 10000; ++i)
+    EXPECT_EQ(in.str(syms[static_cast<std::size_t>(i)]),
+              "sym_" + std::to_string(i));
+}
+
+TEST(Hash, MixDecorrelatesSmallIntegers) {
+  std::set<std::uint64_t> hs;
+  for (std::uint64_t i = 0; i < 1000; ++i) hs.insert(u::mix64(i));
+  EXPECT_EQ(hs.size(), 1000u);
+}
+
+TEST(Hash, CombineIsOrderSensitive) {
+  const auto a = u::hash_combine(u::hash_combine(0, 1), 2);
+  const auto b = u::hash_combine(u::hash_combine(0, 2), 1);
+  EXPECT_NE(a, b);
+}
+
+TEST(Hash, Fnv1aMatchesKnownVector) {
+  // FNV-1a 64-bit of "a" is a published constant.
+  EXPECT_EQ(u::fnv1a("a"), 0xaf63dc4c8601ec8cULL);
+}
+
+TEST(Numeric, Gcd) {
+  EXPECT_EQ(u::gcd64(12, 18), 6);
+  EXPECT_EQ(u::gcd64(7, 13), 1);
+  EXPECT_EQ(u::gcd64(0, 5), 5);
+  EXPECT_EQ(u::gcd64(-12, 18), 6);
+}
+
+TEST(Numeric, CheckedLcm) {
+  EXPECT_EQ(u::checked_lcm(4, 6).value(), 12);
+  EXPECT_EQ(u::checked_lcm(0, 6).value(), 0);
+  EXPECT_FALSE(u::checked_lcm(std::int64_t{1} << 62, 3).has_value());
+}
+
+TEST(Numeric, Hyperperiod) {
+  const std::int64_t ps[] = {10, 20, 40};
+  EXPECT_EQ(u::hyperperiod(ps).value(), 40);
+  const std::int64_t qs[] = {5, 7, 3};
+  EXPECT_EQ(u::hyperperiod(qs).value(), 105);
+  EXPECT_FALSE(u::hyperperiod({}).has_value());
+}
+
+TEST(Numeric, CeilDiv) {
+  EXPECT_EQ(u::ceil_div(10, 3), 4);
+  EXPECT_EQ(u::ceil_div(9, 3), 3);
+  EXPECT_EQ(u::ceil_div(1, 5), 1);
+  EXPECT_EQ(u::ceil_div(0, 5), 0);
+}
+
+TEST(Rng, Deterministic) {
+  u::Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, UniformInRange) {
+  u::Xoshiro256 r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.uniform();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+    const auto v = r.uniform_int(3, 9);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 9u);
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  u::Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Strings, ToLowerAndIequals) {
+  EXPECT_EQ(u::to_lower("Dispatch_Protocol"), "dispatch_protocol");
+  EXPECT_TRUE(u::iequals("Periodic", "PERIODIC"));
+  EXPECT_FALSE(u::iequals("Periodic", "Sporadic"));
+  EXPECT_FALSE(u::iequals("abc", "abcd"));
+}
+
+TEST(Strings, SplitJoin) {
+  const auto parts = u::split("a.b..c", '.');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(u::join({"x", "y", "z"}, "::"), "x::y::z");
+  EXPECT_EQ(u::join({}, "::"), "");
+}
+
+TEST(Strings, PadRight) {
+  EXPECT_EQ(u::pad_right("ab", 5), "ab   ");
+  EXPECT_EQ(u::pad_right("abcdef", 3), "abcdef");
+}
+
+TEST(Diagnostics, CountsAndRenders) {
+  u::DiagnosticEngine de("model.aadl");
+  de.warning({1, 2}, "odd");
+  de.error({3, 4}, "bad");
+  EXPECT_TRUE(de.has_errors());
+  EXPECT_EQ(de.error_count(), 1u);
+  const std::string all = de.render_all();
+  EXPECT_NE(all.find("model.aadl:3:4: error: bad"), std::string::npos);
+  EXPECT_NE(all.find("model.aadl:1:2: warning: odd"), std::string::npos);
+}
+
+TEST(Diagnostics, InvalidLocOmitted) {
+  u::DiagnosticEngine de("x");
+  de.error({}, "no loc");
+  EXPECT_EQ(de.render_all(), "x: error: no loc\n");
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  u::ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  u::ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(64);
+  pool.parallel_for(64, [&](std::size_t i) { ++hits[i]; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAfterWait) {
+  u::ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.parallel_for(10, [&](std::size_t) { ++count; });
+  pool.parallel_for(10, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 20);
+}

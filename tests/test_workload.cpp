@@ -1,0 +1,102 @@
+// Tests for the workload generator: determinism, UUniFast distribution
+// invariants, and structural constraints on generated task sets.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sched/workload.hpp"
+
+using namespace aadlsched::sched;
+using aadlsched::util::Xoshiro256;
+
+namespace {
+
+TEST(UUniFast, SharesSumToTotal) {
+  Xoshiro256 rng(99);
+  for (int rep = 0; rep < 50; ++rep) {
+    const auto us = uunifast(5, 0.8, rng);
+    ASSERT_EQ(us.size(), 5u);
+    double sum = 0;
+    for (double u : us) {
+      EXPECT_GE(u, 0.0);
+      EXPECT_LE(u, 0.8 + 1e-9);
+      sum += u;
+    }
+    EXPECT_NEAR(sum, 0.8, 1e-9);
+  }
+}
+
+TEST(UUniFast, SingleTaskGetsEverything) {
+  Xoshiro256 rng(1);
+  const auto us = uunifast(1, 0.5, rng);
+  ASSERT_EQ(us.size(), 1u);
+  EXPECT_DOUBLE_EQ(us[0], 0.5);
+}
+
+TEST(UUniFast, ZeroTasks) {
+  Xoshiro256 rng(1);
+  EXPECT_TRUE(uunifast(0, 0.5, rng).empty());
+}
+
+TEST(Workload, DeterministicInSeed) {
+  WorkloadSpec spec;
+  spec.task_count = 6;
+  const TaskSet a = generate_workload(spec, 1234);
+  const TaskSet b = generate_workload(spec, 1234);
+  ASSERT_EQ(a.tasks.size(), b.tasks.size());
+  for (std::size_t i = 0; i < a.tasks.size(); ++i) {
+    EXPECT_EQ(a.tasks[i].wcet, b.tasks[i].wcet);
+    EXPECT_EQ(a.tasks[i].period, b.tasks[i].period);
+    EXPECT_EQ(a.tasks[i].deadline, b.tasks[i].deadline);
+  }
+  const TaskSet c = generate_workload(spec, 1235);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.tasks.size(); ++i)
+    any_diff |= a.tasks[i].wcet != c.tasks[i].wcet ||
+                a.tasks[i].period != c.tasks[i].period;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Workload, StructuralInvariants) {
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    WorkloadSpec spec;
+    spec.task_count = 5;
+    spec.total_utilization = 0.75;
+    spec.deadline_fraction = 0.5;
+    const TaskSet ts = generate_workload(spec, seed);
+    ASSERT_EQ(ts.tasks.size(), 5u);
+    for (const Task& t : ts.tasks) {
+      EXPECT_GE(t.wcet, 1);
+      EXPECT_LE(t.wcet, t.period);
+      EXPECT_GE(t.deadline, t.wcet);
+      EXPECT_LE(t.deadline, t.period);
+      EXPECT_TRUE(std::find(spec.periods.begin(), spec.periods.end(),
+                            t.period) != spec.periods.end());
+    }
+    EXPECT_TRUE(ts.constrained_deadlines());
+  }
+}
+
+TEST(Workload, ImplicitDeadlinesWhenFractionIsOne) {
+  WorkloadSpec spec;
+  spec.deadline_fraction = 1.0;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed)
+    EXPECT_TRUE(generate_workload(spec, seed).implicit_deadlines());
+}
+
+TEST(Workload, UtilizationTracksTarget) {
+  // Rounding WCETs distorts utilization; with generous periods the mean
+  // must stay close to the target (small periods + min_wcet_one bias up).
+  WorkloadSpec spec;
+  spec.task_count = 4;
+  spec.periods = {20, 25, 40, 50, 80, 100};
+  spec.total_utilization = 0.6;
+  double total = 0.0;
+  const int reps = 200;
+  for (int seed = 1; seed <= reps; ++seed)
+    total += generate_workload(spec, static_cast<std::uint64_t>(seed))
+                 .utilization();
+  EXPECT_NEAR(total / reps, 0.6, 0.1);
+}
+
+}  // namespace
