@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cruise_control.dir/bench_cruise_control.cpp.o"
+  "CMakeFiles/bench_cruise_control.dir/bench_cruise_control.cpp.o.d"
+  "bench_cruise_control"
+  "bench_cruise_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cruise_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_quantum.dir/bench_quantum.cpp.o"
+  "CMakeFiles/bench_quantum.dir/bench_quantum.cpp.o.d"
+  "bench_quantum"
+  "bench_quantum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_quantum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/acsr_playground.cpp" "examples/CMakeFiles/acsr_playground.dir/acsr_playground.cpp.o" "gcc" "examples/CMakeFiles/acsr_playground.dir/acsr_playground.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/aadlsched_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/translate/CMakeFiles/aadlsched_translate.dir/DependInfo.cmake"
+  "/root/repo/build/src/aadl/CMakeFiles/aadlsched_aadl.dir/DependInfo.cmake"
+  "/root/repo/build/src/versa/CMakeFiles/aadlsched_versa.dir/DependInfo.cmake"
+  "/root/repo/build/src/acsr/CMakeFiles/aadlsched_acsr.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/aadlsched_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/aadlsched_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acsr_playground.dir/acsr_playground.cpp.o"
+  "CMakeFiles/acsr_playground.dir/acsr_playground.cpp.o.d"
+  "acsr_playground"
+  "acsr_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acsr_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

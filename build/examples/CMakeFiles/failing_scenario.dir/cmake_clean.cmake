@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failing_scenario.dir/failing_scenario.cpp.o"
+  "CMakeFiles/failing_scenario.dir/failing_scenario.cpp.o.d"
+  "failing_scenario"
+  "failing_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failing_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aadl/ast.cpp" "src/aadl/CMakeFiles/aadlsched_aadl.dir/ast.cpp.o" "gcc" "src/aadl/CMakeFiles/aadlsched_aadl.dir/ast.cpp.o.d"
+  "/root/repo/src/aadl/instance.cpp" "src/aadl/CMakeFiles/aadlsched_aadl.dir/instance.cpp.o" "gcc" "src/aadl/CMakeFiles/aadlsched_aadl.dir/instance.cpp.o.d"
+  "/root/repo/src/aadl/lexer.cpp" "src/aadl/CMakeFiles/aadlsched_aadl.dir/lexer.cpp.o" "gcc" "src/aadl/CMakeFiles/aadlsched_aadl.dir/lexer.cpp.o.d"
+  "/root/repo/src/aadl/parser.cpp" "src/aadl/CMakeFiles/aadlsched_aadl.dir/parser.cpp.o" "gcc" "src/aadl/CMakeFiles/aadlsched_aadl.dir/parser.cpp.o.d"
+  "/root/repo/src/aadl/properties.cpp" "src/aadl/CMakeFiles/aadlsched_aadl.dir/properties.cpp.o" "gcc" "src/aadl/CMakeFiles/aadlsched_aadl.dir/properties.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/aadlsched_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aadlsched_aadl.dir/ast.cpp.o"
+  "CMakeFiles/aadlsched_aadl.dir/ast.cpp.o.d"
+  "CMakeFiles/aadlsched_aadl.dir/instance.cpp.o"
+  "CMakeFiles/aadlsched_aadl.dir/instance.cpp.o.d"
+  "CMakeFiles/aadlsched_aadl.dir/lexer.cpp.o"
+  "CMakeFiles/aadlsched_aadl.dir/lexer.cpp.o.d"
+  "CMakeFiles/aadlsched_aadl.dir/parser.cpp.o"
+  "CMakeFiles/aadlsched_aadl.dir/parser.cpp.o.d"
+  "CMakeFiles/aadlsched_aadl.dir/properties.cpp.o"
+  "CMakeFiles/aadlsched_aadl.dir/properties.cpp.o.d"
+  "libaadlsched_aadl.a"
+  "libaadlsched_aadl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aadlsched_aadl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/acsr/action.cpp" "src/acsr/CMakeFiles/aadlsched_acsr.dir/action.cpp.o" "gcc" "src/acsr/CMakeFiles/aadlsched_acsr.dir/action.cpp.o.d"
+  "/root/repo/src/acsr/context.cpp" "src/acsr/CMakeFiles/aadlsched_acsr.dir/context.cpp.o" "gcc" "src/acsr/CMakeFiles/aadlsched_acsr.dir/context.cpp.o.d"
+  "/root/repo/src/acsr/expr.cpp" "src/acsr/CMakeFiles/aadlsched_acsr.dir/expr.cpp.o" "gcc" "src/acsr/CMakeFiles/aadlsched_acsr.dir/expr.cpp.o.d"
+  "/root/repo/src/acsr/label.cpp" "src/acsr/CMakeFiles/aadlsched_acsr.dir/label.cpp.o" "gcc" "src/acsr/CMakeFiles/aadlsched_acsr.dir/label.cpp.o.d"
+  "/root/repo/src/acsr/parser.cpp" "src/acsr/CMakeFiles/aadlsched_acsr.dir/parser.cpp.o" "gcc" "src/acsr/CMakeFiles/aadlsched_acsr.dir/parser.cpp.o.d"
+  "/root/repo/src/acsr/preemption.cpp" "src/acsr/CMakeFiles/aadlsched_acsr.dir/preemption.cpp.o" "gcc" "src/acsr/CMakeFiles/aadlsched_acsr.dir/preemption.cpp.o.d"
+  "/root/repo/src/acsr/printer.cpp" "src/acsr/CMakeFiles/aadlsched_acsr.dir/printer.cpp.o" "gcc" "src/acsr/CMakeFiles/aadlsched_acsr.dir/printer.cpp.o.d"
+  "/root/repo/src/acsr/semantics.cpp" "src/acsr/CMakeFiles/aadlsched_acsr.dir/semantics.cpp.o" "gcc" "src/acsr/CMakeFiles/aadlsched_acsr.dir/semantics.cpp.o.d"
+  "/root/repo/src/acsr/term.cpp" "src/acsr/CMakeFiles/aadlsched_acsr.dir/term.cpp.o" "gcc" "src/acsr/CMakeFiles/aadlsched_acsr.dir/term.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/aadlsched_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

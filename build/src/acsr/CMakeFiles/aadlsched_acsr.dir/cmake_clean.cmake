@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aadlsched_acsr.dir/action.cpp.o"
+  "CMakeFiles/aadlsched_acsr.dir/action.cpp.o.d"
+  "CMakeFiles/aadlsched_acsr.dir/context.cpp.o"
+  "CMakeFiles/aadlsched_acsr.dir/context.cpp.o.d"
+  "CMakeFiles/aadlsched_acsr.dir/expr.cpp.o"
+  "CMakeFiles/aadlsched_acsr.dir/expr.cpp.o.d"
+  "CMakeFiles/aadlsched_acsr.dir/label.cpp.o"
+  "CMakeFiles/aadlsched_acsr.dir/label.cpp.o.d"
+  "CMakeFiles/aadlsched_acsr.dir/parser.cpp.o"
+  "CMakeFiles/aadlsched_acsr.dir/parser.cpp.o.d"
+  "CMakeFiles/aadlsched_acsr.dir/preemption.cpp.o"
+  "CMakeFiles/aadlsched_acsr.dir/preemption.cpp.o.d"
+  "CMakeFiles/aadlsched_acsr.dir/printer.cpp.o"
+  "CMakeFiles/aadlsched_acsr.dir/printer.cpp.o.d"
+  "CMakeFiles/aadlsched_acsr.dir/semantics.cpp.o"
+  "CMakeFiles/aadlsched_acsr.dir/semantics.cpp.o.d"
+  "CMakeFiles/aadlsched_acsr.dir/term.cpp.o"
+  "CMakeFiles/aadlsched_acsr.dir/term.cpp.o.d"
+  "libaadlsched_acsr.a"
+  "libaadlsched_acsr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aadlsched_acsr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

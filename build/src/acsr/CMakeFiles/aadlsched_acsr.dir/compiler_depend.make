@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for aadlsched_acsr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for aadlsched_acsr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aadlsched_core.dir/analyzer.cpp.o"
+  "CMakeFiles/aadlsched_core.dir/analyzer.cpp.o.d"
+  "CMakeFiles/aadlsched_core.dir/taskset_aadl.cpp.o"
+  "CMakeFiles/aadlsched_core.dir/taskset_aadl.cpp.o.d"
+  "CMakeFiles/aadlsched_core.dir/taskset_extract.cpp.o"
+  "CMakeFiles/aadlsched_core.dir/taskset_extract.cpp.o.d"
+  "libaadlsched_core.a"
+  "libaadlsched_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aadlsched_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

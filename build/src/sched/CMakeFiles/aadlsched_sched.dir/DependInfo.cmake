@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/analysis.cpp" "src/sched/CMakeFiles/aadlsched_sched.dir/analysis.cpp.o" "gcc" "src/sched/CMakeFiles/aadlsched_sched.dir/analysis.cpp.o.d"
+  "/root/repo/src/sched/simulator.cpp" "src/sched/CMakeFiles/aadlsched_sched.dir/simulator.cpp.o" "gcc" "src/sched/CMakeFiles/aadlsched_sched.dir/simulator.cpp.o.d"
+  "/root/repo/src/sched/task.cpp" "src/sched/CMakeFiles/aadlsched_sched.dir/task.cpp.o" "gcc" "src/sched/CMakeFiles/aadlsched_sched.dir/task.cpp.o.d"
+  "/root/repo/src/sched/workload.cpp" "src/sched/CMakeFiles/aadlsched_sched.dir/workload.cpp.o" "gcc" "src/sched/CMakeFiles/aadlsched_sched.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/aadlsched_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

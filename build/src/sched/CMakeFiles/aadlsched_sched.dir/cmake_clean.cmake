@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aadlsched_sched.dir/analysis.cpp.o"
+  "CMakeFiles/aadlsched_sched.dir/analysis.cpp.o.d"
+  "CMakeFiles/aadlsched_sched.dir/simulator.cpp.o"
+  "CMakeFiles/aadlsched_sched.dir/simulator.cpp.o.d"
+  "CMakeFiles/aadlsched_sched.dir/task.cpp.o"
+  "CMakeFiles/aadlsched_sched.dir/task.cpp.o.d"
+  "CMakeFiles/aadlsched_sched.dir/workload.cpp.o"
+  "CMakeFiles/aadlsched_sched.dir/workload.cpp.o.d"
+  "libaadlsched_sched.a"
+  "libaadlsched_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aadlsched_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

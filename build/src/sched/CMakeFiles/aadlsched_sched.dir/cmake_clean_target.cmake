@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaadlsched_sched.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aadlsched_translate.dir/translator.cpp.o"
+  "CMakeFiles/aadlsched_translate.dir/translator.cpp.o.d"
+  "libaadlsched_translate.a"
+  "libaadlsched_translate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aadlsched_translate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/diagnostics.cpp" "src/util/CMakeFiles/aadlsched_util.dir/diagnostics.cpp.o" "gcc" "src/util/CMakeFiles/aadlsched_util.dir/diagnostics.cpp.o.d"
+  "/root/repo/src/util/interner.cpp" "src/util/CMakeFiles/aadlsched_util.dir/interner.cpp.o" "gcc" "src/util/CMakeFiles/aadlsched_util.dir/interner.cpp.o.d"
+  "/root/repo/src/util/numeric.cpp" "src/util/CMakeFiles/aadlsched_util.dir/numeric.cpp.o" "gcc" "src/util/CMakeFiles/aadlsched_util.dir/numeric.cpp.o.d"
+  "/root/repo/src/util/string_utils.cpp" "src/util/CMakeFiles/aadlsched_util.dir/string_utils.cpp.o" "gcc" "src/util/CMakeFiles/aadlsched_util.dir/string_utils.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/util/CMakeFiles/aadlsched_util.dir/thread_pool.cpp.o" "gcc" "src/util/CMakeFiles/aadlsched_util.dir/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

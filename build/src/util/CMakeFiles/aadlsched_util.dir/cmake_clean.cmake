@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aadlsched_util.dir/diagnostics.cpp.o"
+  "CMakeFiles/aadlsched_util.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/aadlsched_util.dir/interner.cpp.o"
+  "CMakeFiles/aadlsched_util.dir/interner.cpp.o.d"
+  "CMakeFiles/aadlsched_util.dir/numeric.cpp.o"
+  "CMakeFiles/aadlsched_util.dir/numeric.cpp.o.d"
+  "CMakeFiles/aadlsched_util.dir/string_utils.cpp.o"
+  "CMakeFiles/aadlsched_util.dir/string_utils.cpp.o.d"
+  "CMakeFiles/aadlsched_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/aadlsched_util.dir/thread_pool.cpp.o.d"
+  "libaadlsched_util.a"
+  "libaadlsched_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aadlsched_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

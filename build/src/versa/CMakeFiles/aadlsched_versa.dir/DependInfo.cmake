@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/versa/explorer.cpp" "src/versa/CMakeFiles/aadlsched_versa.dir/explorer.cpp.o" "gcc" "src/versa/CMakeFiles/aadlsched_versa.dir/explorer.cpp.o.d"
+  "/root/repo/src/versa/inspection.cpp" "src/versa/CMakeFiles/aadlsched_versa.dir/inspection.cpp.o" "gcc" "src/versa/CMakeFiles/aadlsched_versa.dir/inspection.cpp.o.d"
+  "/root/repo/src/versa/sweep.cpp" "src/versa/CMakeFiles/aadlsched_versa.dir/sweep.cpp.o" "gcc" "src/versa/CMakeFiles/aadlsched_versa.dir/sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/acsr/CMakeFiles/aadlsched_acsr.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/aadlsched_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aadlsched_versa.dir/explorer.cpp.o"
+  "CMakeFiles/aadlsched_versa.dir/explorer.cpp.o.d"
+  "CMakeFiles/aadlsched_versa.dir/inspection.cpp.o"
+  "CMakeFiles/aadlsched_versa.dir/inspection.cpp.o.d"
+  "CMakeFiles/aadlsched_versa.dir/sweep.cpp.o"
+  "CMakeFiles/aadlsched_versa.dir/sweep.cpp.o.d"
+  "libaadlsched_versa.a"
+  "libaadlsched_versa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aadlsched_versa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

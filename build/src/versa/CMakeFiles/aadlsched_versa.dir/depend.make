@@ -1,0 +1,2 @@
+# Empty dependencies file for aadlsched_versa.
+# This may be replaced when dependencies are built.

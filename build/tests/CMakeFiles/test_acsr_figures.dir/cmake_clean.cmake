@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_acsr_figures.dir/test_acsr_figures.cpp.o"
+  "CMakeFiles/test_acsr_figures.dir/test_acsr_figures.cpp.o.d"
+  "test_acsr_figures"
+  "test_acsr_figures.pdb"
+  "test_acsr_figures[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_acsr_figures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

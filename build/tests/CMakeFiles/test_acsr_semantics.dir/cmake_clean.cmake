@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_acsr_semantics.dir/test_acsr_semantics.cpp.o"
+  "CMakeFiles/test_acsr_semantics.dir/test_acsr_semantics.cpp.o.d"
+  "test_acsr_semantics"
+  "test_acsr_semantics.pdb"
+  "test_acsr_semantics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_acsr_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

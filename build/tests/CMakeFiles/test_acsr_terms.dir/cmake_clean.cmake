@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_acsr_terms.dir/test_acsr_terms.cpp.o"
+  "CMakeFiles/test_acsr_terms.dir/test_acsr_terms.cpp.o.d"
+  "test_acsr_terms"
+  "test_acsr_terms.pdb"
+  "test_acsr_terms[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_acsr_terms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

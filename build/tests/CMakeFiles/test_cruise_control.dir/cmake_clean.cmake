@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cruise_control.dir/test_cruise_control.cpp.o"
+  "CMakeFiles/test_cruise_control.dir/test_cruise_control.cpp.o.d"
+  "test_cruise_control"
+  "test_cruise_control.pdb"
+  "test_cruise_control[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cruise_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_event_chains.dir/test_event_chains.cpp.o"
+  "CMakeFiles/test_event_chains.dir/test_event_chains.cpp.o.d"
+  "test_event_chains"
+  "test_event_chains.pdb"
+  "test_event_chains[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_event_chains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

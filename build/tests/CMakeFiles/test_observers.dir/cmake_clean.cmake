@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_observers.dir/test_observers.cpp.o"
+  "CMakeFiles/test_observers.dir/test_observers.cpp.o.d"
+  "test_observers"
+  "test_observers.pdb"
+  "test_observers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_observers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sched_analysis.dir/test_sched_analysis.cpp.o"
+  "CMakeFiles/test_sched_analysis.dir/test_sched_analysis.cpp.o.d"
+  "test_sched_analysis"
+  "test_sched_analysis.pdb"
+  "test_sched_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sched_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_liftback.dir/test_trace_liftback.cpp.o"
+  "CMakeFiles/test_trace_liftback.dir/test_trace_liftback.cpp.o.d"
+  "test_trace_liftback"
+  "test_trace_liftback.pdb"
+  "test_trace_liftback[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_liftback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

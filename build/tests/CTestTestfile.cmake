@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_acsr_terms[1]_include.cmake")
+include("/root/repo/build/tests/test_acsr_semantics[1]_include.cmake")
+include("/root/repo/build/tests/test_acsr_figures[1]_include.cmake")
+include("/root/repo/build/tests/test_acsr_parser[1]_include.cmake")
+include("/root/repo/build/tests/test_preemption[1]_include.cmake")
+include("/root/repo/build/tests/test_explorer[1]_include.cmake")
+include("/root/repo/build/tests/test_sched_analysis[1]_include.cmake")
+include("/root/repo/build/tests/test_simulator[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_aadl_frontend[1]_include.cmake")
+include("/root/repo/build/tests/test_translator[1]_include.cmake")
+include("/root/repo/build/tests/test_cruise_control[1]_include.cmake")
+include("/root/repo/build/tests/test_cross_validation[1]_include.cmake")
+include("/root/repo/build/tests/test_trace_liftback[1]_include.cmake")
+include("/root/repo/build/tests/test_event_chains[1]_include.cmake")
+include("/root/repo/build/tests/test_observers[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_extract[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aadlsched.dir/aadlsched.cpp.o"
+  "CMakeFiles/aadlsched.dir/aadlsched.cpp.o.d"
+  "aadlsched"
+  "aadlsched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aadlsched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
