@@ -25,10 +25,26 @@ std::uint64_t hash_events(std::span<const Event> es) {
 
 }  // namespace
 
+namespace {
+constexpr ActionId kNoAction = static_cast<ActionId>(-1);
+constexpr EventSetId kNoEventSet = static_cast<EventSetId>(-1);
+}  // namespace
+
 ActionTable::ActionTable() {
   // ActionId 0: the empty (idling) action.
-  actions_.emplace_back();
-  index_[hash_uses(actions_[0])].push_back(0);
+  actions_.push_back({});
+  const std::uint64_t h = hash_uses(actions_[0]);
+  shards_[h % kIndexShards].buckets[h].push_back(0);
+}
+
+ActionId ActionTable::find_in_bucket(
+    const IndexShard& shard, std::uint64_t h,
+    const std::vector<ResourceUse>& uses) const {
+  const auto it = shard.buckets.find(h);
+  if (it == shard.buckets.end()) return kNoAction;
+  for (ActionId id : it->second)
+    if (actions_[id] == uses) return id;
+  return kNoAction;
 }
 
 ActionId ActionTable::intern(std::vector<ResourceUse> uses) {
@@ -45,12 +61,25 @@ ActionId ActionTable::intern(std::vector<ResourceUse> uses) {
   uses.resize(w);
 
   const std::uint64_t h = hash_uses(uses);
-  auto& bucket = index_[h];
-  for (ActionId id : bucket)
-    if (actions_[id] == uses) return id;
-  const ActionId id = static_cast<ActionId>(actions_.size());
-  actions_.push_back(std::move(uses));
-  bucket.push_back(id);
+  IndexShard& shard = shards_[h % kIndexShards];
+
+  if (!shared_) {
+    if (const ActionId hit = find_in_bucket(shard, h, uses); hit != kNoAction)
+      return hit;
+    const ActionId id = static_cast<ActionId>(actions_.push_back(std::move(uses)));
+    shard.buckets[h].push_back(id);
+    return id;
+  }
+
+  std::lock_guard shard_lk(shard.mu);
+  if (const ActionId hit = find_in_bucket(shard, h, uses); hit != kNoAction)
+    return hit;
+  ActionId id;
+  {
+    std::lock_guard append_lk(append_mu_);
+    id = static_cast<ActionId>(actions_.push_back(std::move(uses)));
+  }
+  shard.buckets[h].push_back(id);
   return id;
 }
 
@@ -104,20 +133,31 @@ bool ActionTable::preempts(ActionId a, ActionId b) const {
 }
 
 EventSetTable::EventSetTable() {
-  sets_.emplace_back();
+  sets_.push_back({});
   index_[hash_events(sets_[0])].push_back(0);
+}
+
+EventSetId EventSetTable::find_existing(
+    std::uint64_t h, const std::vector<Event>& events) const {
+  const auto it = index_.find(h);
+  if (it == index_.end()) return kNoEventSet;
+  for (EventSetId id : it->second)
+    if (sets_[id] == events) return id;
+  return kNoEventSet;
 }
 
 EventSetId EventSetTable::intern(std::vector<Event> events) {
   std::sort(events.begin(), events.end());
   events.erase(std::unique(events.begin(), events.end()), events.end());
   const std::uint64_t h = hash_events(events);
-  auto& bucket = index_[h];
-  for (EventSetId id : bucket)
-    if (sets_[id] == events) return id;
-  const EventSetId id = static_cast<EventSetId>(sets_.size());
-  sets_.push_back(std::move(events));
-  bucket.push_back(id);
+  // Event sets are interned during translation, not exploration; a single
+  // mutex in shared mode is plenty.
+  std::unique_lock<std::mutex> lk;
+  if (shared_) lk = std::unique_lock(mu_);
+  if (const EventSetId hit = find_existing(h, events); hit != kNoEventSet)
+    return hit;
+  const EventSetId id = static_cast<EventSetId>(sets_.push_back(std::move(events)));
+  index_[h].push_back(id);
   return id;
 }
 

@@ -8,13 +8,16 @@
 // identified by a u32.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "acsr/ids.hpp"
+#include "util/chunked_vector.hpp"
 
 namespace aadlsched::acsr {
 
@@ -54,9 +57,24 @@ class ActionTable {
 
   std::size_t size() const { return actions_.size(); }
 
+  /// See TermTable::set_shared_mode: locked interning for the parallel
+  /// explorer (Par3 merges intern new combined actions on the hot path).
+  void set_shared_mode(bool shared) { shared_ = shared; }
+
  private:
-  std::vector<std::vector<ResourceUse>> actions_;
-  std::unordered_map<std::uint64_t, std::vector<ActionId>> index_;
+  static constexpr std::size_t kIndexShards = 16;
+  struct IndexShard {
+    std::mutex mu;
+    std::unordered_map<std::uint64_t, std::vector<ActionId>> buckets;
+  };
+
+  ActionId find_in_bucket(const IndexShard& shard, std::uint64_t h,
+                          const std::vector<ResourceUse>& uses) const;
+
+  util::ChunkedVector<std::vector<ResourceUse>, 8> actions_;
+  std::array<IndexShard, kIndexShards> shards_;
+  std::mutex append_mu_;
+  bool shared_ = false;
 };
 
 /// Interned sorted sets of event labels, for the restriction operator.
@@ -68,9 +86,16 @@ class EventSetTable {
   const std::vector<Event>& events(EventSetId id) const { return sets_[id]; }
   bool contains(EventSetId id, Event e) const;
 
+  void set_shared_mode(bool shared) { shared_ = shared; }
+
  private:
-  std::vector<std::vector<Event>> sets_;
+  EventSetId find_existing(std::uint64_t h,
+                           const std::vector<Event>& events) const;
+
+  util::ChunkedVector<std::vector<Event>, 8> sets_;
   std::unordered_map<std::uint64_t, std::vector<EventSetId>> index_;
+  mutable std::mutex mu_;
+  bool shared_ = false;
 };
 
 }  // namespace aadlsched::acsr

@@ -5,11 +5,17 @@
 // definitions. Instantiation (open term + parameter values -> ground term)
 // and call unfolding live here because they touch all tables.
 //
-// A Context is single-threaded; concurrent analyses use one Context each
-// (they are cheap to create), which is how the benches parallelize sweeps.
+// A Context is single-threaded while a model is being built. For the
+// parallel explorer it can be switched into *shared mode*
+// (set_shared_mode / SharedModeGuard): every hash-cons table then takes
+// striped locks on intern so multiple workers may extend the term DAG
+// concurrently. Sweeps over independent model variants still use one
+// Context per job (they are cheap to create).
 #pragma once
 
 #include <deque>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -88,7 +94,34 @@ class Context {
   /// Memoized: states revisit the same calls constantly.
   TermId unfold(TermId call_term);
 
+  // --- concurrency -----------------------------------------------------
+  /// Switch every table into (or out of) shared mode. Must be called while
+  /// no other thread touches the Context; definitions and open terms must
+  /// already be built (they stay read-only in shared mode).
+  void set_shared_mode(bool shared);
+  bool shared_mode() const { return shared_; }
+
+  /// RAII shared-mode window, used by versa::explore_parallel.
+  class SharedModeGuard {
+   public:
+    explicit SharedModeGuard(Context& ctx) : ctx_(ctx) {
+      ctx_.set_shared_mode(true);
+    }
+    ~SharedModeGuard() { ctx_.set_shared_mode(false); }
+    SharedModeGuard(const SharedModeGuard&) = delete;
+    SharedModeGuard& operator=(const SharedModeGuard&) = delete;
+
+   private:
+    Context& ctx_;
+  };
+
  private:
+  static constexpr std::size_t kUnfoldShards = 16;
+  struct UnfoldShard {
+    std::mutex mu;
+    std::unordered_map<TermId, TermId> memo;
+  };
+
   OpenTermId push_open(OpenTermNode n);
 
   util::Interner resources_;
@@ -100,7 +133,9 @@ class Context {
   std::deque<OpenTermNode> open_terms_;
   std::deque<Definition> defs_;
   std::unordered_map<std::string, DefId> def_index_;
-  std::unordered_map<TermId, TermId> unfold_memo_;
+  std::unique_ptr<UnfoldShard[]> unfold_shards_ =
+      std::make_unique<UnfoldShard[]>(kUnfoldShards);
+  bool shared_ = false;
 };
 
 }  // namespace aadlsched::acsr

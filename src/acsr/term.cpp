@@ -25,32 +25,62 @@ std::uint64_t hash_node(const TermNode& n,
 TermTable::TermTable() {
   // TermId 0 is NIL.
   nodes_.push_back(TermNode{});
-  index_[hash_node(nodes_[0], {})].push_back(kNil);
+  const std::uint64_t h = hash_node(nodes_[0], {});
+  shards_[h % kIndexShards].buckets[h].push_back(kNil);
 }
 
 std::span<const std::uint32_t> TermTable::payload(TermId id) const {
   const TermNode& n = nodes_[id];
-  return std::span<const std::uint32_t>(arena_).subspan(n.extra, n.extra_len);
+  return arena_.view(n.extra, n.extra_len);
+}
+
+TermId TermTable::find_in_bucket(const IndexShard& shard, std::uint64_t h,
+                                 const TermNode& proto,
+                                 std::span<const std::uint32_t> payload) const {
+  const auto it = shard.buckets.find(h);
+  if (it == shard.buckets.end()) return kInvalidTerm;
+  for (TermId id : it->second) {
+    const TermNode& n = nodes_[id];
+    if (n.kind == proto.kind && n.flag == proto.flag && n.a == proto.a &&
+        n.b == proto.b && n.c == proto.c && n.extra_len == proto.extra_len &&
+        std::equal(payload.begin(), payload.end(),
+                   arena_.view(n.extra, n.extra_len).begin()))
+      return id;
+  }
+  return kInvalidTerm;
 }
 
 TermId TermTable::intern(TermNode proto,
                          std::span<const std::uint32_t> payload) {
   proto.extra_len = static_cast<std::uint32_t>(payload.size());
   const std::uint64_t h = hash_node(proto, payload);
-  auto& bucket = index_[h];
-  for (TermId id : bucket) {
-    const TermNode& n = nodes_[id];
-    if (n.kind == proto.kind && n.flag == proto.flag && n.a == proto.a &&
-        n.b == proto.b && n.c == proto.c && n.extra_len == proto.extra_len &&
-        std::equal(payload.begin(), payload.end(),
-                   arena_.begin() + n.extra))
-      return id;
+  IndexShard& shard = shards_[h % kIndexShards];
+
+  if (!shared_) {
+    if (const TermId hit = find_in_bucket(shard, h, proto, payload);
+        hit != kInvalidTerm)
+      return hit;
+    proto.extra = static_cast<std::uint32_t>(arena_.append_span(payload));
+    const TermId id = static_cast<TermId>(nodes_.push_back(proto));
+    shard.buckets[h].push_back(id);
+    return id;
   }
-  proto.extra = static_cast<std::uint32_t>(arena_.size());
-  arena_.insert(arena_.end(), payload.begin(), payload.end());
-  const TermId id = static_cast<TermId>(nodes_.size());
-  nodes_.push_back(proto);
-  bucket.push_back(id);
+
+  // Shared mode: equal protos hash to the same shard, so holding the shard
+  // lock across probe + publish makes the dedup atomic; the global append
+  // lock serializes storage growth across shards. Lock order is always
+  // shard -> append.
+  std::lock_guard shard_lk(shard.mu);
+  if (const TermId hit = find_in_bucket(shard, h, proto, payload);
+      hit != kInvalidTerm)
+    return hit;
+  TermId id;
+  {
+    std::lock_guard append_lk(append_mu_);
+    proto.extra = static_cast<std::uint32_t>(arena_.append_span(payload));
+    id = static_cast<TermId>(nodes_.push_back(proto));
+  }
+  shard.buckets[h].push_back(id);
   return id;
 }
 
@@ -80,8 +110,7 @@ TermId TermTable::choice(std::vector<TermId> alts) {
     const TermId t = alts[i];
     if (t == kNil) continue;
     if (nodes_[t].kind == TermKind::Choice) {
-      const auto p = payload(t);
-      // payload() span stays valid: no construction happens while copying.
+      const auto p = payload(t);  // chunked arena: span stays valid
       flat.insert(flat.end(), p.begin(), p.end());
     } else {
       flat.push_back(t);

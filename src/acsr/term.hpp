@@ -12,12 +12,15 @@
 // explored space (see bench_statespace).
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "acsr/ids.hpp"
+#include "util/chunked_vector.hpp"
 
 namespace aadlsched::acsr {
 
@@ -75,20 +78,40 @@ class TermTable {
   const TermNode& node(TermId id) const { return nodes_[id]; }
   TermKind kind(TermId id) const { return nodes_[id].kind; }
 
-  /// Children / argument payload of a node. The returned span is invalidated
-  /// by any subsequent construction; callers must copy before constructing.
+  /// Children / argument payload of a node. Storage is chunked and append-
+  /// only, so the returned span stays valid across further construction.
   std::span<const std::uint32_t> payload(TermId id) const;
 
   ScopeParts scope_parts(TermId id) const;
 
   std::size_t size() const { return nodes_.size(); }
 
- private:
-  TermId intern(TermNode proto, std::span<const std::uint32_t> payload);
+  /// In shared mode every intern takes its index-shard lock (and a global
+  /// append lock on a miss) so workers of the parallel explorer can extend
+  /// the term DAG concurrently. Outside shared mode construction is
+  /// lock-free single-threaded, as before. Toggle only while quiescent.
+  void set_shared_mode(bool shared) { shared_ = shared; }
 
-  std::vector<TermNode> nodes_;
-  std::vector<std::uint32_t> arena_;
-  std::unordered_map<std::uint64_t, std::vector<TermId>> index_;
+ private:
+  static constexpr std::size_t kIndexShards = 64;
+  struct IndexShard {
+    std::mutex mu;
+    std::unordered_map<std::uint64_t, std::vector<TermId>> buckets;
+  };
+
+  TermId intern(TermNode proto, std::span<const std::uint32_t> payload);
+  TermId find_in_bucket(const IndexShard& shard, std::uint64_t h,
+                        const TermNode& proto,
+                        std::span<const std::uint32_t> payload) const;
+
+  // Chunked so element addresses are stable: readers chase TermIds while
+  // writers append (see chunked_vector.hpp for the synchronization
+  // contract).
+  util::ChunkedVector<TermNode, 13> nodes_;
+  util::ChunkedVector<std::uint32_t, 14> arena_;
+  std::array<IndexShard, kIndexShards> shards_;
+  std::mutex append_mu_;
+  bool shared_ = false;
 };
 
 }  // namespace aadlsched::acsr

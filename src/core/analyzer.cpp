@@ -1,6 +1,7 @@
 #include "core/analyzer.hpp"
 
 #include <fstream>
+#include <iomanip>
 #include <map>
 #include <sstream>
 
@@ -191,6 +192,17 @@ std::string AnalysisResult::summary() const {
     os << "INCONCLUSIVE — state bound reached after " << states
        << " states; raise ExploreOptions::max_states";
   }
+  os << "\nexploration: " << std::fixed << std::setprecision(2) << explore_ms
+     << " ms, peak frontier " << peak_frontier << ", fan memo "
+     << memo_hits << " hits / " << fans_computed << " computed";
+  if (worker_states.size() > 1) {
+    os << ", per-worker states [";
+    for (std::size_t i = 0; i < worker_states.size(); ++i) {
+      if (i) os << ' ';
+      os << worker_states[i];
+    }
+    os << ']';
+  }
   return os.str();
 }
 
@@ -205,14 +217,24 @@ AnalysisResult analyze_instance(const aadl::InstanceModel& instance,
   if (!tr) return result;
   result.threads = tr->threads;
 
-  acsr::Semantics sem(ctx);
-  const versa::ExploreResult er =
-      versa::explore(sem, tr->initial, opts.exploration);
+  versa::ExploreResult er;
+  if (opts.parallel.workers == 1) {
+    acsr::Semantics sem(ctx);
+    er = versa::explore(sem, tr->initial, opts.exploration);
+  } else {
+    er = versa::explore_parallel(ctx, tr->initial, opts.exploration,
+                                 opts.parallel);
+  }
   result.states = er.states;
   result.transitions = er.transitions;
   result.exhaustive = er.complete;
   result.schedulable = er.schedulable();
   result.ok = er.complete;
+  result.explore_ms = er.wall_ms;
+  result.peak_frontier = er.peak_frontier;
+  result.fans_computed = er.sem_stats.computed;
+  result.memo_hits = er.sem_stats.memo_hits;
+  result.worker_states = er.worker_states;
   if (er.deadlock_found) result.scenario = lift_back(ctx, *tr, er);
   return result;
 }

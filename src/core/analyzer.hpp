@@ -22,6 +22,10 @@ namespace aadlsched::core {
 struct AnalyzerOptions {
   translate::TranslateOptions translation;
   versa::ExploreOptions exploration;
+  /// Single-model exploration parallelism. workers == 1 (default) keeps the
+  /// classic serial explorer; anything else routes through
+  /// versa::explore_parallel (0 = hardware concurrency).
+  versa::ParallelExploreOptions parallel;
 };
 
 /// Per-thread status in one quantum of a failing scenario.
@@ -59,6 +63,13 @@ struct AnalysisResult {
   std::optional<FailingScenario> scenario;
   std::vector<translate::TranslatedThread> threads;
   std::string diagnostics;  // rendered front-end/translation messages
+
+  // Exploration observability (see versa::ExploreResult).
+  double explore_ms = 0;
+  std::uint64_t peak_frontier = 0;
+  std::uint64_t fans_computed = 0;   // successor fans computed
+  std::uint64_t memo_hits = 0;       // fans served from a memo cache
+  std::vector<std::uint64_t> worker_states;  // states expanded per worker
 
   std::string summary() const;
 };

@@ -1,0 +1,88 @@
+// Append-only storage with stable addresses, safe for concurrent readers.
+//
+// The hash-cons tables of the ACSR core are append-only: once an id is
+// handed out, the entry behind it is immutable. A std::vector backing store
+// breaks under concurrent exploration because a grow reallocates and
+// invalidates every element mid-read. ChunkedVector stores elements in
+// fixed-size chunks behind a preallocated spine of chunk pointers, so
+//   * an element's address never changes once written, and
+//   * a reader that holds a published index never touches memory that a
+//     concurrent append is writing.
+// Appends themselves are NOT synchronized here; tables serialize them with
+// their own append mutex when running in shared mode. The synchronization
+// contract is the usual hash-cons one: an index only reaches a reader
+// through a lock-protected structure (an index shard bucket, the explorer's
+// level barrier), which establishes the happens-before edge for the chunk
+// contents.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <utility>
+
+namespace aadlsched::util {
+
+template <typename T, std::size_t ChunkLog = 12, std::size_t MaxChunks = 1u << 15>
+class ChunkedVector {
+ public:
+  static constexpr std::size_t kChunkSize = std::size_t{1} << ChunkLog;
+  static constexpr std::size_t kChunkMask = kChunkSize - 1;
+
+  ChunkedVector() : spine_(new std::unique_ptr<T[]>[MaxChunks]) {}
+
+  std::size_t size() const { return size_; }
+
+  T& operator[](std::size_t i) {
+    return spine_[i >> ChunkLog][i & kChunkMask];
+  }
+  const T& operator[](std::size_t i) const {
+    return spine_[i >> ChunkLog][i & kChunkMask];
+  }
+
+  /// Append one element; returns its index.
+  std::size_t push_back(T v) {
+    const std::size_t i = size_;
+    ensure_chunk(i);
+    (*this)[i] = std::move(v);
+    size_ = i + 1;
+    return i;
+  }
+
+  /// Append `xs` contiguously (never straddling a chunk boundary, padding
+  /// the current chunk when they do not fit); returns the start index.
+  /// Requires xs.size() <= kChunkSize.
+  std::size_t append_span(std::span<const T> xs) {
+    if (xs.size() > kChunkSize)
+      throw std::length_error("ChunkedVector::append_span: span too large");
+    std::size_t start = size_;
+    if ((start & kChunkMask) + xs.size() > kChunkSize)
+      start = (start & ~kChunkMask) + kChunkSize;  // pad to next chunk
+    if (!xs.empty()) {
+      ensure_chunk(start);
+      for (std::size_t k = 0; k < xs.size(); ++k) (*this)[start + k] = xs[k];
+      size_ = start + xs.size();
+    }
+    return start;
+  }
+
+  /// View of a contiguous run produced by append_span.
+  std::span<const T> view(std::size_t start, std::size_t len) const {
+    if (len == 0) return {};
+    return {&(*this)[start], len};
+  }
+
+ private:
+  void ensure_chunk(std::size_t i) {
+    const std::size_t c = i >> ChunkLog;
+    if (c >= MaxChunks)
+      throw std::length_error("ChunkedVector: capacity exhausted");
+    if (!spine_[c]) spine_[c] = std::make_unique<T[]>(kChunkSize);
+  }
+
+  std::unique_ptr<std::unique_ptr<T[]>[]> spine_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace aadlsched::util

@@ -1,7 +1,15 @@
 #include "versa/explorer.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <deque>
+#include <memory>
+#include <optional>
+#include <thread>
+
+#include "util/concurrent_set.hpp"
+#include "util/thread_pool.hpp"
 
 namespace aadlsched::versa {
 
@@ -9,8 +17,45 @@ using acsr::Label;
 using acsr::TermId;
 using acsr::Transition;
 
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+/// Stuck: no transitions at all, or nothing but instantaneous self-loops
+/// (e.g. a full drop-protocol queue absorbing environment events while time
+/// is frozen) — time can never progress again.
+bool is_stuck(TermId state, const std::vector<Transition>& fan) {
+  bool stuck = true;
+  for (const Transition& tr : fan)
+    stuck &= !tr.label.is_timed() && tr.target == state;
+  return stuck;
+}
+
+void reconstruct_trace(
+    ExploreResult& result,
+    const std::unordered_map<TermId, std::pair<TermId, Label>>& parent) {
+  std::vector<Step> rev;
+  TermId cur = result.first_deadlock;
+  while (cur != result.initial) {
+    const auto it = parent.find(cur);
+    if (it == parent.end()) break;  // initial state itself deadlocked
+    rev.push_back(Step{it->second.second, cur});
+    cur = it->second.first;
+  }
+  std::reverse(rev.begin(), rev.end());
+  result.trace = std::move(rev);
+}
+
+}  // namespace
+
 ExploreResult explore(acsr::Semantics& sem, TermId initial,
                       const ExploreOptions& opts) {
+  const auto t0 = Clock::now();
+  const acsr::Semantics::Stats stats_before = sem.stats();
   ExploreResult result;
   result.initial = initial;
 
@@ -21,19 +66,24 @@ ExploreResult explore(acsr::Semantics& sem, TermId initial,
   seen.emplace(initial, true);
   frontier.push_back(initial);
   result.states = 1;
+  result.peak_frontier = 1;
+  std::uint64_t expanded = 0;
+
+  const auto finish = [&] {
+    result.worker_states = {expanded};
+    result.sem_stats.computed = sem.stats().computed - stats_before.computed;
+    result.sem_stats.memo_hits =
+        sem.stats().memo_hits - stats_before.memo_hits;
+    result.wall_ms = ms_since(t0);
+  };
 
   while (!frontier.empty()) {
     const TermId state = frontier.front();
     frontier.pop_front();
 
     const std::vector<Transition> fan = sem.prioritized(state);
-    // Stuck: no transitions at all, or nothing but instantaneous
-    // self-loops (e.g. a full drop-protocol queue absorbing environment
-    // events while time is frozen) — time can never progress again.
-    bool stuck = true;
-    for (const Transition& tr : fan)
-      stuck &= !tr.label.is_timed() && tr.target == state;
-    if (stuck) {
+    ++expanded;
+    if (is_stuck(state, fan)) {
       ++result.deadlock_count;
       if (!result.deadlock_found) {
         result.deadlock_found = true;
@@ -45,13 +95,17 @@ ExploreResult explore(acsr::Semantics& sem, TermId initial,
     for (const Transition& tr : fan) {
       ++result.transitions;
       if (seen.emplace(tr.target, true).second) {
-        if (opts.record_trace) parent.emplace(tr.target, std::make_pair(state, tr.label));
+        if (opts.record_trace)
+          parent.emplace(tr.target, std::make_pair(state, tr.label));
         ++result.states;
         if (result.states >= opts.max_states) {
           // Bailed out: leave `complete` false.
+          finish();
           return result;
         }
         frontier.push_back(tr.target);
+        result.peak_frontier =
+            std::max<std::uint64_t>(result.peak_frontier, frontier.size());
       }
     }
   }
@@ -59,18 +113,158 @@ ExploreResult explore(acsr::Semantics& sem, TermId initial,
   result.complete =
       frontier.empty() || (result.deadlock_found && opts.stop_at_first_deadlock);
 
-  if (result.deadlock_found && opts.record_trace) {
-    std::vector<Step> rev;
-    TermId cur = result.first_deadlock;
-    while (cur != initial) {
-      const auto it = parent.find(cur);
-      if (it == parent.end()) break;  // initial state itself deadlocked
-      rev.push_back(Step{it->second.second, cur});
-      cur = it->second.first;
-    }
-    std::reverse(rev.begin(), rev.end());
-    result.trace = std::move(rev);
+  if (result.deadlock_found && opts.record_trace)
+    reconstruct_trace(result, parent);
+  finish();
+  return result;
+}
+
+ExploreResult explore_parallel(acsr::Context& ctx, TermId initial,
+                               const ExploreOptions& opts,
+                               const ParallelExploreOptions& popts) {
+  const auto t0 = Clock::now();
+  std::size_t workers = popts.workers;
+  if (workers == 0)
+    workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+
+  ExploreResult result;
+  result.initial = initial;
+
+  // One Semantics per worker: the transition-fan memo stays worker-local so
+  // the hot path takes no lock at all on a memo hit.
+  std::vector<std::unique_ptr<acsr::Semantics>> sems;
+  sems.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w)
+    sems.push_back(std::make_unique<acsr::Semantics>(ctx));
+
+  util::ConcurrentSet visited(1u << 16, workers > 1 ? 64 : 1);
+  visited.insert(initial);
+  result.states = 1;
+
+  std::unordered_map<TermId, std::pair<TermId, Label>> parent;
+
+  struct Discovery {
+    TermId target;
+    TermId source;
+    Label label;
+  };
+  struct WorkerOut {
+    std::vector<Discovery> discovered;
+    std::vector<std::pair<std::size_t, TermId>> deadlocks;  // (level idx, s)
+    std::uint64_t transitions = 0;
+    std::uint64_t processed = 0;
+  };
+  std::vector<WorkerOut> outs(workers);
+
+  // Shared-mode window + pool only when there is real parallelism; at
+  // workers == 1 the engine runs lock-free on this thread.
+  std::optional<acsr::Context::SharedModeGuard> shared;
+  std::optional<util::ThreadPool> pool;
+  if (workers > 1) {
+    shared.emplace(ctx);
+    pool.emplace(workers);
   }
+
+  const std::size_t block = std::max<std::size_t>(1, popts.block);
+  std::vector<TermId> level{initial};
+  bool hit_max = false;
+  bool exhausted = false;
+
+  const auto process_range = [&](acsr::Semantics& sem, WorkerOut& out,
+                                 const std::vector<TermId>& lvl,
+                                 std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const TermId state = lvl[i];
+      const std::vector<Transition> fan = sem.prioritized(state);
+      ++out.processed;
+      if (is_stuck(state, fan)) {
+        out.deadlocks.emplace_back(i, state);
+        continue;
+      }
+      for (const Transition& tr : fan) {
+        ++out.transitions;
+        if (visited.insert(tr.target))
+          out.discovered.push_back(Discovery{tr.target, state, tr.label});
+      }
+    }
+  };
+
+  while (true) {
+    result.peak_frontier =
+        std::max<std::uint64_t>(result.peak_frontier, level.size());
+    for (WorkerOut& o : outs) {
+      o.discovered.clear();
+      o.deadlocks.clear();
+      o.transitions = 0;
+    }
+
+    if (!pool || level.size() < popts.serial_frontier_threshold) {
+      process_range(*sems[0], outs[0], level, 0, level.size());
+    } else {
+      std::atomic<std::size_t> cursor{0};
+      pool->parallel_for(workers, [&](std::size_t w) {
+        while (true) {
+          const std::size_t b =
+              cursor.fetch_add(block, std::memory_order_relaxed);
+          if (b >= level.size()) break;
+          process_range(*sems[w], outs[w], level, b,
+                        std::min(b + block, level.size()));
+        }
+      });
+    }
+
+    // Merge the level: deadlocks first (earliest level-position wins so the
+    // pick does not depend on which worker grabbed which block), then the
+    // deduplicated next frontier.
+    std::size_t first_idx = level.size();
+    for (const WorkerOut& out : outs) {
+      result.transitions += out.transitions;
+      for (const auto& [idx, d] : out.deadlocks) {
+        ++result.deadlock_count;
+        if (!result.deadlock_found || idx < first_idx) {
+          result.deadlock_found = true;
+          result.first_deadlock = d;
+          first_idx = idx;
+        }
+      }
+    }
+    std::vector<TermId> next;
+    for (WorkerOut& out : outs) {
+      for (const Discovery& d : out.discovered) {
+        if (opts.record_trace)
+          parent.emplace(d.target, std::make_pair(d.source, d.label));
+        ++result.states;
+        next.push_back(d.target);
+      }
+    }
+
+    if (result.deadlock_found && opts.stop_at_first_deadlock) break;
+    if (result.states >= opts.max_states) {
+      hit_max = true;
+      break;
+    }
+    if (next.empty()) {
+      exhausted = true;
+      break;
+    }
+    level = std::move(next);
+  }
+
+  result.complete =
+      !hit_max &&
+      (exhausted || (result.deadlock_found && opts.stop_at_first_deadlock));
+
+  if (result.deadlock_found && opts.record_trace)
+    reconstruct_trace(result, parent);
+
+  result.worker_states.reserve(workers);
+  for (const WorkerOut& out : outs)
+    result.worker_states.push_back(out.processed);
+  for (const auto& sem : sems) {
+    result.sem_stats.computed += sem->stats().computed;
+    result.sem_stats.memo_hits += sem->stats().memo_hits;
+  }
+  result.wall_ms = ms_since(t0);
   return result;
 }
 
@@ -83,20 +277,15 @@ Lts build_lts(acsr::Semantics& sem, TermId initial,
     const TermId state = lts.states[i];
     std::vector<Transition> fan = sem.prioritized(state);
     for (const Transition& tr : fan) {
-      if (lts.index.emplace(tr.target, lts.states.size()).second) {
-        if (lts.states.size() >= max_states) break;
-        lts.states.push_back(tr.target);
-      }
+      if (lts.index.contains(tr.target)) continue;
+      // Reserve the slot only while there is capacity for it; otherwise the
+      // index would hold a dangling entry for a state never pushed.
+      if (lts.states.size() >= max_states) continue;
+      lts.index.emplace(tr.target, lts.states.size());
+      lts.states.push_back(tr.target);
     }
     lts.edges.push_back(std::move(fan));
-    if (lts.states.size() >= max_states) {
-      // Fill remaining edge slots so states/edges stay parallel arrays.
-      while (lts.edges.size() < lts.states.size()) lts.edges.emplace_back();
-      break;
-    }
   }
-  while (lts.edges.size() < lts.states.size())
-    lts.edges.push_back(sem.prioritized(lts.states[lts.edges.size()]));
   return lts;
 }
 

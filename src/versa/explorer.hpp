@@ -5,6 +5,16 @@
 // a reachable state with no outgoing prioritized transitions (a deadlock) is
 // exactly a timing violation (§5); BFS order means the reported failing
 // scenario is a shortest one.
+//
+// Two engines share that contract:
+//   * explore()          — the classic serial BFS;
+//   * explore_parallel() — level-synchronous parallel BFS: each BFS level is
+//     carved into blocks processed by a worker pool, duplicates are resolved
+//     through a sharded concurrent visited set, and workers extend the
+//     shared hash-cons tables under Context shared mode with per-worker
+//     Semantics memo caches. Processing level-by-level preserves the BFS
+//     depth invariant, so the counterexample is still a shortest one and
+//     states/transitions are identical for every worker count.
 #pragma once
 
 #include <cstdint>
@@ -25,6 +35,19 @@ struct ExploreOptions {
   bool stop_at_first_deadlock = true;
 };
 
+struct ParallelExploreOptions {
+  /// Worker threads for a single-model exploration. 1 runs the level-
+  /// synchronous engine on the calling thread (no pool, no shared-mode
+  /// locking); 0 means hardware concurrency.
+  std::size_t workers = 1;
+  /// Levels smaller than this are expanded inline by the coordinator — the
+  /// automatic serial fallback for the shallow, narrow prefix of the BFS
+  /// where fan-out cannot amortize the barrier.
+  std::size_t serial_frontier_threshold = 128;
+  /// States handed to a worker per grab of the shared level cursor.
+  std::size_t block = 32;
+};
+
 /// One step of a counterexample: the label taken and the state reached.
 struct Step {
   acsr::Label label;
@@ -43,12 +66,36 @@ struct ExploreResult {
   /// empty when schedulable or when record_trace was off.
   std::vector<Step> trace;
 
+  // --- observability ---------------------------------------------------
+  double wall_ms = 0;                 // exploration wall time
+  std::uint64_t peak_frontier = 0;    // largest BFS frontier/level seen
+  /// States expanded per worker (one entry for the serial explorer).
+  std::vector<std::uint64_t> worker_states;
+  /// Aggregated successor-fan memo effectiveness across all Semantics
+  /// instances involved (one per worker).
+  acsr::Semantics::Stats sem_stats;
+
   bool schedulable() const { return complete && !deadlock_found; }
 };
 
 /// Breadth-first exploration of the prioritized transition system.
 ExploreResult explore(acsr::Semantics& sem, acsr::TermId initial,
                       const ExploreOptions& opts = {});
+
+/// Level-synchronous parallel BFS over one model. Constructs one Semantics
+/// per worker on the shared Context (which is put in shared mode for the
+/// duration when workers > 1).
+///
+/// Compared with explore(), the only behavioural difference is stop
+/// granularity: stop_at_first_deadlock and max_states take effect at level
+/// boundaries, so on a deadlocked model the whole deadlock level is counted
+/// (the serial engine stops mid-level). On a fully explored space — any
+/// schedulable model, or stop_at_first_deadlock = false — states,
+/// transitions, verdict and trace length are identical to explore(), and
+/// they are identical across worker counts and runs in every case.
+ExploreResult explore_parallel(acsr::Context& ctx, acsr::TermId initial,
+                               const ExploreOptions& opts = {},
+                               const ParallelExploreOptions& popts = {});
 
 /// A fully materialized labelled transition system, for tests and the
 /// playground example (small models only).

@@ -1,12 +1,19 @@
 // Parallel analysis sweeps.
 //
-// A Context is deliberately single-threaded (every table is an interner),
-// so parallelism lives one level up: independent analyses — one model
-// variant per job, each with a private Context — run concurrently on a
-// thread pool. This is the structure the benches use for utilization
-// sweeps and is the honest parallelization of this workload: exploration of
-// *one* model is pointer-chasing over a shared hash-cons table, while a
-// sweep is embarrassingly parallel.
+// Two axes of parallelism exist in this codebase, and they compose:
+//   * Across models (this file): independent analyses — one model variant
+//     per job, each with a private Context — run concurrently on a thread
+//     pool. Utilization sweeps are embarrassingly parallel and scale
+//     linearly.
+//   * Within one model: versa::explore_parallel runs a level-synchronous
+//     parallel BFS over a single prioritized transition system, with the
+//     hash-cons tables in Context shared-mode (striped locks) and a sharded
+//     concurrent visited set. See DESIGN.md §8 for the architecture and the
+//     shortest-trace argument.
+// An earlier revision claimed single-model exploration was inherently
+// serial "pointer-chasing over a shared hash-cons table"; chunked
+// append-only table storage plus per-worker transition-memo caches proved
+// that wrong — most of the hot path never takes a lock.
 #pragma once
 
 #include <cstddef>

@@ -1,0 +1,84 @@
+// Tests for the sharded concurrent visited set and the chunked append-only
+// storage behind the shared-mode hash-cons tables.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "util/chunked_vector.hpp"
+#include "util/concurrent_set.hpp"
+
+using namespace aadlsched;
+
+namespace {
+
+TEST(ConcurrentSet, InsertIsIdempotent) {
+  util::ConcurrentSet set(16);
+  EXPECT_TRUE(set.insert(42));
+  EXPECT_FALSE(set.insert(42));
+  EXPECT_TRUE(set.contains(42));
+  EXPECT_FALSE(set.contains(7));
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(ConcurrentSet, HandlesZeroKeyAndGrowth) {
+  util::ConcurrentSet set(4, 2);
+  EXPECT_TRUE(set.insert(0));
+  EXPECT_TRUE(set.contains(0));
+  // Push far past the initial capacity to force every shard to grow.
+  for (std::uint64_t k = 1; k < 10'000; ++k) EXPECT_TRUE(set.insert(k));
+  for (std::uint64_t k = 0; k < 10'000; ++k) EXPECT_TRUE(set.contains(k));
+  EXPECT_EQ(set.size(), 10'000u);
+  EXPECT_FALSE(set.insert(9'999));
+}
+
+TEST(ConcurrentSet, ConcurrentInsertersClaimEachKeyOnce) {
+  constexpr std::uint64_t kKeys = 50'000;
+  constexpr std::size_t kThreads = 8;
+  util::ConcurrentSet set(1024);  // small: exercises growth under contention
+  std::vector<std::uint64_t> wins(kThreads, 0);
+  std::vector<std::thread> threads;
+  // Every thread tries to insert every key; exactly one may win each.
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::uint64_t k = 0; k < kKeys; ++k)
+        if (set.insert(k * 2654435761u)) ++wins[t];
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::uint64_t total = 0;
+  for (std::uint64_t w : wins) total += w;
+  EXPECT_EQ(total, kKeys);
+  EXPECT_EQ(set.size(), kKeys);
+}
+
+TEST(ChunkedVector, StableAddressesAcrossGrowth) {
+  util::ChunkedVector<int, 4> v;  // chunks of 16
+  EXPECT_EQ(v.push_back(7), 0u);
+  const int* first = &v[0];
+  for (int i = 1; i < 1000; ++i)
+    EXPECT_EQ(v.push_back(i), static_cast<std::size_t>(i));
+  EXPECT_EQ(first, &v[0]) << "growth must not move existing elements";
+  EXPECT_EQ(v[0], 7);
+  EXPECT_EQ(v[999], 999);
+  EXPECT_EQ(v.size(), 1000u);
+}
+
+TEST(ChunkedVector, AppendSpanNeverStraddlesChunks) {
+  util::ChunkedVector<std::uint32_t, 4> v;  // chunks of 16
+  const std::uint32_t a[13] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13};
+  const std::size_t s1 = v.append_span(std::span<const std::uint32_t>(a, 13));
+  // 13 more do not fit in the 3 remaining slots: must pad to chunk 2.
+  const std::size_t s2 = v.append_span(std::span<const std::uint32_t>(a, 13));
+  EXPECT_EQ(s1, 0u);
+  EXPECT_EQ(s2, 16u);
+  const auto view2 = v.view(s2, 13);
+  EXPECT_TRUE(std::equal(view2.begin(), view2.end(), a));
+  // Empty span: no write, any start is fine, view is empty.
+  const std::size_t s3 = v.append_span({});
+  EXPECT_TRUE(v.view(s3, 0).empty());
+}
+
+}  // namespace

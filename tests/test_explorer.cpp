@@ -202,6 +202,44 @@ TEST(Explorer, LtsEnumeratesWholeSpace) {
   EXPECT_EQ(lts.edges[0][0].target, lts.states[1]);
 }
 
+TEST(Explorer, LtsMaxStatesLeavesNoDanglingIndex) {
+  Context ctx;
+  Builder b(ctx);
+  // Unbounded-ish counter: far more reachable states than the cap.
+  b.def("C", {"n"},
+        b.when(b.lt(b.p(0), b.c(1'000)),
+               b.idle(b.call("C", {b.add(b.p(0), b.c(1))}))));
+  Semantics sem(ctx);
+  const auto lts = build_lts(sem, b.start("C", {0}), /*max_states=*/10);
+  // Regression: the index used to get an entry for a state that was never
+  // pushed once the cap was hit, leaving a dangling slot number.
+  EXPECT_EQ(lts.states.size(), 10u);
+  EXPECT_EQ(lts.index.size(), lts.states.size());
+  EXPECT_EQ(lts.edges.size(), lts.states.size());
+  for (const auto& [term, slot] : lts.index) {
+    ASSERT_LT(slot, lts.states.size());
+    EXPECT_EQ(lts.states[slot], term);
+  }
+}
+
+TEST(Explorer, SerialExploreReportsObservability) {
+  Context ctx;
+  Builder b(ctx);
+  define_task(b, "T1", 1, 3, 2);
+  define_task(b, "T2", 1, 3, 1);
+  Semantics sem(ctx);
+  const TermId sys =
+      ctx.terms().parallel({b.start("T1", {0, 0}), b.start("T2", {0, 0})});
+  const auto r = explore(sem, sys);
+  EXPECT_GE(r.wall_ms, 0.0);
+  EXPECT_GE(r.peak_frontier, 1u);
+  ASSERT_EQ(r.worker_states.size(), 1u);  // serial engine = one worker
+  EXPECT_GT(r.worker_states[0], 0u);
+  EXPECT_GT(r.sem_stats.computed, 0u);
+  EXPECT_EQ(r.sem_stats.computed, sem.stats().computed)
+      << "fresh Semantics: delta equals totals";
+}
+
 TEST(Explorer, ParallelSweepRunsIndependentAnalyses) {
   std::vector<int> verdicts(8, -1);
   parallel_sweep(8, [&](std::size_t i) {

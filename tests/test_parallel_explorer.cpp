@@ -1,0 +1,238 @@
+// Serial/parallel equivalence of the state-space explorer.
+//
+// The level-synchronous parallel explorer must report the same states,
+// transitions, verdict and (shortest) trace length as the serial BFS — on
+// the shipped example models, on seeded random workloads, across worker
+// counts, and across repeated runs (interning order is scheduling-dependent
+// in parallel mode, but every reported quantity is structural).
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "aadl/parser.hpp"
+#include "core/analyzer.hpp"
+#include "core/taskset_aadl.hpp"
+#include "sched/workload.hpp"
+#include "translate/translator.hpp"
+#include "versa/explorer.hpp"
+
+using namespace aadlsched;
+using versa::ExploreOptions;
+using versa::ExploreResult;
+using versa::ParallelExploreOptions;
+
+namespace {
+
+std::string read_model(const std::string& name) {
+  std::ifstream in(std::string(AADLSCHED_MODELS_DIR) + "/" + name);
+  EXPECT_TRUE(in) << name;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// AADL source -> ACSR initial term, on a caller-owned Context.
+acsr::TermId build_initial(acsr::Context& ctx, const std::string& src,
+                           std::string_view root, std::int64_t quantum_ns) {
+  util::DiagnosticEngine diags("test.aadl");
+  aadl::Model model;
+  if (!aadl::parse_aadl(model, src, diags)) {
+    ADD_FAILURE() << diags.render_all();
+    return acsr::kNil;
+  }
+  auto inst = aadl::instantiate(model, root, diags);
+  if (!inst || diags.has_errors()) {
+    ADD_FAILURE() << diags.render_all();
+    return acsr::kNil;
+  }
+  translate::TranslateOptions topts;
+  topts.quantum_ns = quantum_ns;
+  auto tr = translate::translate(ctx, *inst, diags, topts);
+  if (!tr) {
+    ADD_FAILURE() << diags.render_all();
+    return acsr::kNil;
+  }
+  return tr->initial;
+}
+
+void expect_equivalent(const ExploreResult& a, const ExploreResult& b,
+                       const std::string& what) {
+  EXPECT_EQ(a.complete, b.complete) << what;
+  EXPECT_EQ(a.deadlock_found, b.deadlock_found) << what;
+  EXPECT_EQ(a.schedulable(), b.schedulable()) << what;
+  EXPECT_EQ(a.states, b.states) << what;
+  EXPECT_EQ(a.transitions, b.transitions) << what;
+  EXPECT_EQ(a.deadlock_count, b.deadlock_count) << what;
+  EXPECT_EQ(a.trace.size(), b.trace.size()) << what << " (trace length)";
+}
+
+ExploreResult run_serial(const std::string& src, std::string_view root,
+                         std::int64_t quantum_ns, const ExploreOptions& opts) {
+  acsr::Context ctx;
+  acsr::Semantics sem(ctx);
+  return versa::explore(sem, build_initial(ctx, src, root, quantum_ns), opts);
+}
+
+ExploreResult run_parallel(const std::string& src, std::string_view root,
+                           std::int64_t quantum_ns, const ExploreOptions& opts,
+                           std::size_t workers) {
+  acsr::Context ctx;
+  ParallelExploreOptions popts;
+  popts.workers = workers;
+  popts.serial_frontier_threshold = 16;  // force pooled rounds early
+  return versa::explore_parallel(
+      ctx, build_initial(ctx, src, root, quantum_ns), opts, popts);
+}
+
+struct ExampleModel {
+  const char* file;
+  const char* root;
+  std::int64_t quantum_ns;
+};
+
+const ExampleModel kExamples[] = {
+    {"cruise_control.aadl", "CruiseControlSystem.impl", 10'000'000},
+    {"avionics.aadl", "Avionics.impl", 1'000'000},
+};
+
+TEST(ParallelExplorer, MatchesSerialOnExampleModels) {
+  for (const ExampleModel& m : kExamples) {
+    const std::string src = read_model(m.file);
+    // Exhaustive exploration: every quantity must match the serial engine
+    // exactly (stop granularity cannot differ when nothing stops early).
+    ExploreOptions opts;
+    opts.stop_at_first_deadlock = false;
+    const ExploreResult serial = run_serial(src, m.root, m.quantum_ns, opts);
+    const ExploreResult par = run_parallel(src, m.root, m.quantum_ns, opts, 4);
+    expect_equivalent(serial, par, m.file);
+
+    // Default options: the verdict and the shortest-counterexample length
+    // must match regardless of stop granularity.
+    const ExploreResult s2 = run_serial(src, m.root, m.quantum_ns, {});
+    const ExploreResult p2 = run_parallel(src, m.root, m.quantum_ns, {}, 4);
+    EXPECT_EQ(s2.schedulable(), p2.schedulable()) << m.file;
+    EXPECT_EQ(s2.deadlock_found, p2.deadlock_found) << m.file;
+    EXPECT_EQ(s2.trace.size(), p2.trace.size()) << m.file;
+  }
+}
+
+sched::TaskSet random_workload(std::uint64_t seed, std::size_t n, double u) {
+  sched::WorkloadSpec spec;
+  spec.task_count = n;
+  spec.total_utilization = u;
+  spec.periods = {3, 4, 5, 6};
+  sched::TaskSet ts = sched::generate_workload(spec, seed);
+  sched::assign_rate_monotonic(ts);
+  return ts;
+}
+
+TEST(ParallelExplorer, WorkerCountsAgreeOnRandomWorkloads) {
+  // Mix of schedulable and overloaded sets; workers=1 and workers=4 run the
+  // same level-synchronous algorithm, so *all* counts must match even when
+  // stopping at the first deadlock.
+  for (std::uint64_t seed : {11u, 22u, 33u, 44u}) {
+    for (double u : {0.7, 1.15}) {
+      const std::string src = core::taskset_to_aadl(
+          random_workload(seed, 3, u), sched::SchedulingPolicy::FixedPriority);
+      const std::string what =
+          "seed " + std::to_string(seed) + " u " + std::to_string(u);
+      const ExploreResult one =
+          run_parallel(src, "Root.impl", 1'000'000, {}, 1);
+      const ExploreResult four =
+          run_parallel(src, "Root.impl", 1'000'000, {}, 4);
+      expect_equivalent(one, four, what);
+
+      // And against the serial engine on the fully explored space.
+      ExploreOptions full;
+      full.stop_at_first_deadlock = false;
+      expect_equivalent(run_serial(src, "Root.impl", 1'000'000, full),
+                        run_parallel(src, "Root.impl", 1'000'000, full, 4),
+                        what + " (exhaustive)");
+    }
+  }
+}
+
+TEST(ParallelExplorer, DeterministicAcrossRuns) {
+  const std::string src = read_model("cruise_control.aadl");
+  const ExploreResult a =
+      run_parallel(src, "CruiseControlSystem.impl", 10'000'000, {}, 4);
+  const ExploreResult b =
+      run_parallel(src, "CruiseControlSystem.impl", 10'000'000, {}, 4);
+  expect_equivalent(a, b, "two parallel runs");
+  EXPECT_EQ(a.peak_frontier, b.peak_frontier);
+}
+
+TEST(ParallelExplorer, SerialFallbackThresholdDoesNotChangeResults) {
+  const std::string src = core::taskset_to_aadl(
+      random_workload(7, 3, 0.9), sched::SchedulingPolicy::FixedPriority);
+  acsr::Context c1, c2;
+  ParallelExploreOptions always_pool;
+  always_pool.workers = 4;
+  always_pool.serial_frontier_threshold = 0;
+  ParallelExploreOptions always_inline;
+  always_inline.workers = 4;
+  always_inline.serial_frontier_threshold = ~std::size_t{0};
+  expect_equivalent(
+      versa::explore_parallel(c1, build_initial(c1, src, "Root.impl", 1'000'000),
+                              {}, always_pool),
+      versa::explore_parallel(c2, build_initial(c2, src, "Root.impl", 1'000'000),
+                              {}, always_inline),
+      "pooled vs inline levels");
+}
+
+TEST(ParallelExplorer, HardwareWorkerCountRuns) {
+  const std::string src = read_model("cruise_control.aadl");
+  acsr::Context ctx;
+  ParallelExploreOptions popts;
+  popts.workers = 0;  // hardware concurrency
+  const ExploreResult r = versa::explore_parallel(
+      ctx, build_initial(ctx, src, "CruiseControlSystem.impl", 10'000'000),
+      {}, popts);
+  EXPECT_TRUE(r.complete);
+  EXPECT_GE(r.worker_states.size(), 1u);
+  std::uint64_t expanded = 0;
+  for (std::uint64_t w : r.worker_states) expanded += w;
+  EXPECT_GT(expanded, 0u);
+  EXPECT_GT(r.sem_stats.computed, 0u);
+  EXPECT_GE(r.wall_ms, 0.0);
+  EXPECT_GE(r.peak_frontier, 1u);
+}
+
+TEST(ParallelExplorer, SharedModeIsRestoredAfterExploration) {
+  acsr::Context ctx;
+  const std::string src = read_model("cruise_control.aadl");
+  const acsr::TermId init =
+      build_initial(ctx, src, "CruiseControlSystem.impl", 10'000'000);
+  ParallelExploreOptions popts;
+  popts.workers = 2;
+  versa::explore_parallel(ctx, init, {}, popts);
+  EXPECT_FALSE(ctx.shared_mode());
+}
+
+TEST(ParallelExplorer, AnalyzerPlumbsWorkersAndObservability) {
+  const std::string src = read_model("cruise_control.aadl");
+  core::AnalyzerOptions opts;
+  opts.translation.quantum_ns = 10'000'000;
+  opts.parallel.workers = 4;
+  const auto r =
+      core::analyze_source(src, "CruiseControlSystem.impl", opts);
+  ASSERT_TRUE(r.ok) << r.diagnostics;
+  EXPECT_TRUE(r.schedulable) << r.summary();
+  EXPECT_EQ(r.worker_states.size(), 4u);
+  EXPECT_GT(r.fans_computed, 0u);
+  EXPECT_GE(r.peak_frontier, 1u);
+  EXPECT_NE(r.summary().find("exploration:"), std::string::npos);
+
+  // Serial analyzer reports the same verdict and state count on this
+  // (schedulable, hence exhaustively explored) model.
+  core::AnalyzerOptions serial = opts;
+  serial.parallel.workers = 1;
+  const auto rs = core::analyze_source(src, "CruiseControlSystem.impl", serial);
+  EXPECT_EQ(rs.states, r.states);
+  EXPECT_EQ(rs.transitions, r.transitions);
+  EXPECT_EQ(rs.schedulable, r.schedulable);
+}
+
+}  // namespace

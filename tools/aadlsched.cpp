@@ -11,6 +11,8 @@
 //                          observer); repeatable
 //   --late-completion      use the literal Fig. 5 execution-time model
 //   --max-states <n>       exploration bound (default 5,000,000)
+//   --workers <n>          parallel exploration workers (default 1 =
+//                          serial; 0 = hardware concurrency)
 //
 // Exit code: 0 schedulable, 1 not schedulable, 2 usage/front-end error.
 #include <cstring>
@@ -32,7 +34,7 @@ int usage() {
   std::cerr <<
       "usage: aadlsched <model.aadl>... <Root.impl> [--quantum ms] [--acsr]\n"
       "                 [--classical] [--latency src sink ms]\n"
-      "                 [--late-completion] [--max-states n]\n";
+      "                 [--late-completion] [--max-states n] [--workers n]\n";
   return 2;
 }
 
@@ -71,6 +73,10 @@ int main(int argc, char** argv) {
     } else if (arg == "--max-states" && i + 1 < argc) {
       opts.exploration.max_states =
           static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--workers" && i + 1 < argc) {
+      const long long n = std::atoll(argv[++i]);
+      if (n < 0) return usage();
+      opts.parallel.workers = static_cast<std::size_t>(n);
     } else if (arg == "--latency" && i + 3 < argc) {
       translate::LatencySpec spec;
       spec.source_path = argv[++i];
