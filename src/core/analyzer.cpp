@@ -179,6 +179,14 @@ std::string AnalysisResult::summary() const {
     os << "ANALYSIS FAILED\n" << diagnostics;
     return os.str();
   }
+  if (!decided_by.empty()) {
+    os << (schedulable ? "SCHEDULABLE" : "NOT SCHEDULABLE")
+       << " — decided statically by lint pass " << decided_by << " ("
+       << states << " states explored)";
+    if (lint_report && !lint_report->verdict_detail.empty())
+      os << "\n  " << lint_report->verdict_detail;
+    return os.str();
+  }
   if (schedulable) {
     os << "SCHEDULABLE — no deadline violation is reachable (" << states
        << " states, " << transitions << " transitions explored)";
@@ -210,6 +218,32 @@ AnalysisResult analyze_instance(const aadl::InstanceModel& instance,
                                 const AnalyzerOptions& opts) {
   AnalysisResult result;
   util::DiagnosticEngine diags("<model>");
+
+  if (opts.run_lint) {
+    lint::Options lopts = opts.lint;
+    lopts.translation = opts.translation;
+    lopts.diags = &diags;
+    result.lint_report = lint::run(instance, lopts);
+    const lint::Report& report = *result.lint_report;
+    // A conclusive static verdict on a translatable model replaces
+    // exploration: the screening passes only decide when exploration would
+    // provably agree (DESIGN.md §9).
+    if (report.translated &&
+        report.verdict != lint::StaticVerdict::None &&
+        opts.skip_exploration_on_conclusive) {
+      result.ok = true;
+      result.exhaustive = true;
+      result.schedulable =
+          report.verdict == lint::StaticVerdict::Schedulable;
+      result.decided_by = report.decided_by;
+      result.diagnostics = diags.render_all();
+      return result;
+    }
+    if (report.fails(opts.lint.fail_on)) {
+      result.diagnostics = diags.render_all();
+      return result;  // ok == false: lint gate tripped
+    }
+  }
 
   acsr::Context ctx;
   auto tr = translate::translate(ctx, instance, diags, opts.translation);

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "aadl/instance.hpp"
+#include "lint/lint.hpp"
 #include "translate/translator.hpp"
 #include "versa/explorer.hpp"
 
@@ -26,6 +27,17 @@ struct AnalyzerOptions {
   /// classic serial explorer; anything else routes through
   /// versa::explore_parallel (0 = hardware concurrency).
   versa::ParallelExploreOptions parallel;
+
+  /// Run the static analysis front door (src/lint) before translating.
+  /// Off by default at the library level (programmatic callers see
+  /// unchanged behavior); tools/aadlsched enables it unless --no-lint.
+  bool run_lint = false;
+  /// Lint policy. `lint.translation` is overridden with `translation`
+  /// so screening sees the same quantum the explorer would.
+  lint::Options lint;
+  /// When lint reaches a conclusive static verdict on a translatable
+  /// model, skip exploration and report 0 states (DESIGN.md §9).
+  bool skip_exploration_on_conclusive = true;
 };
 
 /// Per-thread status in one quantum of a failing scenario.
@@ -63,6 +75,12 @@ struct AnalysisResult {
   std::optional<FailingScenario> scenario;
   std::vector<translate::TranslatedThread> threads;
   std::string diagnostics;  // rendered front-end/translation messages
+
+  /// Present when AnalyzerOptions::run_lint was set.
+  std::optional<lint::Report> lint_report;
+  /// Check id(s) that decided the verdict statically (empty when the
+  /// verdict came from exploration).
+  std::string decided_by;
 
   // Exploration observability (see versa::ExploreResult).
   double explore_ms = 0;

@@ -1,0 +1,15 @@
+// Internal: registration hooks for the built-in pass files. Each
+// translation unit in src/lint contributes one tier; Registry::builtin()
+// calls all three (explicit registration keeps the passes alive through
+// static-library linking).
+#pragma once
+
+namespace aadlsched::lint {
+
+class Registry;
+
+void register_model_passes(Registry& reg);      // AL001..AL006
+void register_screening_passes(Registry& reg);  // AL007..AL009
+void register_acsr_passes(Registry& reg);       // AL010..AL012
+
+}  // namespace aadlsched::lint

@@ -1,0 +1,303 @@
+// Fast verdict screening (AL007..AL009): per-processor analytical tests
+// over the quantized task view, reusing the bounds of src/sched. The
+// contract with exploration (DESIGN.md §9):
+//
+//   * AL007 NotSchedulable claims are *guaranteed counterexamples*: the
+//     overload sum ranges over periodic threads only (which dispatch
+//     unconditionally) at their quantized WCET (the all-cmax execution is
+//     always a reachable choice, because `done` carries priority 0).
+//   * AL008/AL009 Schedulable claims are per-processor and only offered
+//     when the classical abstraction is *exact*: all threads periodic,
+//     implicit deadlines after quantization, and a model with no event
+//     connections and no bus bindings (those introduce queues/generators/
+//     cross-processor coupling that the bounds do not see). The lint driver
+//     additionally requires translation success and no latency observers
+//     before promoting them to a whole-model verdict.
+//
+// All conclusive arithmetic is exact (128-bit integer over the quantized
+// values the explorer itself uses); floating point only feeds warnings and
+// note-level reporting.
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "aadl/properties.hpp"
+#include "lint/lint.hpp"
+#include "lint/passes.hpp"
+#include "sched/analysis.hpp"
+
+namespace aadlsched::lint {
+
+namespace {
+
+using aadl::ComponentInstance;
+using aadl::DispatchProtocol;
+using aadl::InstanceModel;
+using aadl::SchedulingProtocol;
+
+using I128 = __int128;
+
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+I128 gcd128(I128 a, I128 b) {
+  while (b != 0) {
+    const I128 t = a % b;
+    a = b;
+    b = t;
+  }
+  return a < 0 ? -a : a;
+}
+
+struct ScreenTask {
+  std::string path;
+  DispatchProtocol dispatch = DispatchProtocol::Periodic;
+  std::int64_t cmin_q = 0, cmax_q = 0, period_q = 0, deadline_q = 0;
+};
+
+struct ScreenCpu {
+  const ComponentInstance* cpu = nullptr;
+  std::optional<SchedulingProtocol> protocol;
+  std::vector<ScreenTask> tasks;
+  bool complete = true;  // every bound thread yielded full, valid timing
+};
+
+/// Quantized per-processor task view. Replicates the translator's rounding
+/// (execution times up, periods/deadlines down) so screening sees exactly
+/// the parameters exploration would; deliberately does not use
+/// core::extract_taskset (core depends on lint, not the other way around).
+std::vector<ScreenCpu> extract(const Subject& subject) {
+  const InstanceModel& m = *subject.instance;
+  const std::int64_t q = subject.topts.quantum_ns;
+  std::vector<ScreenCpu> cpus;
+  if (q <= 0) return cpus;
+  for (const ComponentInstance* cpu : m.processors) {
+    const auto threads = m.threads_on(cpu);
+    if (threads.empty()) continue;
+    ScreenCpu sc;
+    sc.cpu = cpu;
+    util::DiagnosticEngine scratch("<lint>");
+    sc.protocol = aadl::scheduling_protocol(m, *cpu, scratch);
+    for (const ComponentInstance* t : threads) {
+      util::DiagnosticEngine tscratch("<lint>");
+      const auto tp = aadl::thread_properties(m, *t, tscratch);
+      if (!tp) {
+        sc.complete = false;
+        continue;
+      }
+      ScreenTask st;
+      st.path = t->path;
+      st.dispatch = tp->dispatch;
+      st.cmin_q = ceil_div(tp->compute_min_ns, q);
+      st.cmax_q = ceil_div(tp->compute_max_ns, q);
+      st.period_q = tp->period_ns / q;
+      st.deadline_q = tp->deadline_ns / q;
+      sc.tasks.push_back(std::move(st));
+    }
+    cpus.push_back(std::move(sc));
+  }
+  return cpus;
+}
+
+/// Exact utilization comparison over the quantized view: returns the sign
+/// of (sum cmax/period) - 1 as -1/0/+1, or nullopt when the exact
+/// accumulation would overflow 128-bit.
+std::optional<int> utilization_vs_one(const std::vector<ScreenTask>& tasks,
+                                      bool periodic_only) {
+  // Accumulate num/den with gcd reduction; bail out near the 128-bit edge.
+  constexpr I128 kCap = static_cast<I128>(1) << 100;
+  I128 num = 0, den = 1;
+  for (const ScreenTask& t : tasks) {
+    if (periodic_only && t.dispatch != DispatchProtocol::Periodic) continue;
+    if (t.dispatch == DispatchProtocol::Aperiodic ||
+        t.dispatch == DispatchProtocol::Background)
+      continue;  // no utilization bound
+    if (t.period_q <= 0) continue;  // AL005 flags this
+    if (den > kCap / t.period_q) return std::nullopt;
+    num = num * t.period_q + static_cast<I128>(t.cmax_q) * den;
+    den = den * t.period_q;
+    const I128 g = gcd128(num, den);
+    if (g > 1) {
+      num /= g;
+      den /= g;
+    }
+    if (num > kCap) return std::nullopt;
+  }
+  if (num > den) return 1;
+  if (num < den) return -1;
+  return 0;
+}
+
+double utilization_double(const std::vector<ScreenTask>& tasks,
+                          bool periodic_only) {
+  double u = 0;
+  for (const ScreenTask& t : tasks) {
+    if (periodic_only && t.dispatch != DispatchProtocol::Periodic) continue;
+    if (t.dispatch == DispatchProtocol::Aperiodic ||
+        t.dispatch == DispatchProtocol::Background)
+      continue;
+    if (t.period_q <= 0) continue;
+    u += static_cast<double>(t.cmax_q) / static_cast<double>(t.period_q);
+  }
+  return u;
+}
+
+/// Is the whole model free of features the classical per-processor task
+/// abstraction cannot express (event chains, bus contention)?
+bool model_is_pure(const InstanceModel& m) {
+  for (const aadl::SemanticConnection& sc : m.connections) {
+    if (sc.kind == aadl::FeatureKind::EventPort ||
+        sc.kind == aadl::FeatureKind::EventDataPort)
+      return false;
+    if (sc.bus) return false;
+  }
+  return true;
+}
+
+bool all_periodic_implicit(const ScreenCpu& sc) {
+  for (const ScreenTask& t : sc.tasks) {
+    if (t.dispatch != DispatchProtocol::Periodic) return false;
+    if (t.period_q <= 0 || t.deadline_q != t.period_q) return false;
+  }
+  return !sc.tasks.empty();
+}
+
+std::string utilization_string(const std::vector<ScreenTask>& tasks,
+                               bool periodic_only) {
+  std::ostringstream os;
+  os.precision(4);
+  os << utilization_double(tasks, periodic_only);
+  return os.str();
+}
+
+// --- AL007 ----------------------------------------------------------------
+
+class UtilizationOverloadPass final : public Pass {
+ public:
+  const CheckInfo& info() const override {
+    static const CheckInfo kInfo{
+        "AL007", "utilization-overload",
+        "per-processor utilization of periodic threads > 1 is a guaranteed "
+        "deadline miss",
+        Tier::Screening};
+    return kInfo;
+  }
+  void run(const Subject& subject, Sink& sink) const override {
+    for (const ScreenCpu& sc : extract(subject)) {
+      const auto periodic_sign = utilization_vs_one(sc.tasks, true);
+      if (periodic_sign && *periodic_sign > 0) {
+        const std::string u = utilization_string(sc.tasks, true);
+        sink.error(sc.cpu->path,
+                   "periodic utilization " + u +
+                       " exceeds 1: overload is certain, some deadline "
+                       "must be missed");
+        sink.conclusive(StaticVerdict::NotSchedulable,
+                        "processor '" + sc.cpu->path +
+                            "' is overloaded by periodic threads alone "
+                            "(U = " + u + " > 1)");
+        continue;
+      }
+      // Sporadic threads at their minimum separation may overstate real
+      // arrival rates, so the combined overload is only advisory.
+      const double total = utilization_double(sc.tasks, false);
+      if ((!periodic_sign || *periodic_sign <= 0) && total > 1.0 + 1e-9)
+        sink.warning(sc.cpu->path,
+                     "utilization including sporadic threads at maximum "
+                     "rate is " + utilization_string(sc.tasks, false) +
+                         " > 1: unschedulable under sustained arrivals");
+    }
+  }
+};
+
+// --- AL008 ----------------------------------------------------------------
+
+class RmUtilizationBoundPass final : public Pass {
+ public:
+  const CheckInfo& info() const override {
+    static const CheckInfo kInfo{
+        "AL008", "rm-utilization-bound",
+        "hyperbolic/Liu-Layland bound for rate-/deadline-monotonic "
+        "processors (sufficient)",
+        Tier::Screening};
+    return kInfo;
+  }
+  void run(const Subject& subject, Sink& sink) const override {
+    if (!model_is_pure(*subject.instance)) return;
+    for (const ScreenCpu& sc : extract(subject)) {
+      if (!sc.complete || !sc.protocol) continue;
+      if (*sc.protocol != SchedulingProtocol::RateMonotonic &&
+          *sc.protocol != SchedulingProtocol::DeadlineMonotonic)
+        continue;
+      if (!all_periodic_implicit(sc)) continue;
+      bool fits = true;
+      for (const ScreenTask& t : sc.tasks)
+        if (t.cmax_q > t.period_q) fits = false;
+      if (!fits) continue;
+
+      // Hyperbolic bound, exact: prod(c_i + p_i) <= 2 * prod(p_i).
+      constexpr I128 kCap = static_cast<I128>(1) << 110;
+      I128 lhs = 1, rhs = 2;
+      bool exact = true;
+      for (const ScreenTask& t : sc.tasks) {
+        const I128 a = t.cmax_q + t.period_q, b = t.period_q;
+        if (lhs > kCap / a || rhs > kCap / b) {
+          exact = false;
+          break;
+        }
+        lhs *= a;
+        rhs *= b;
+      }
+      if (!exact || lhs > rhs) continue;
+
+      const double u = utilization_double(sc.tasks, false);
+      const double ll = sched::liu_layland_bound(sc.tasks.size());
+      std::ostringstream os;
+      os.precision(4);
+      os << "U = " << u << " satisfies the hyperbolic bound (LL bound for n="
+         << sc.tasks.size() << " is " << ll << ")";
+      sink.note(sc.cpu->path, "rate-monotonic bound holds: " + os.str());
+      sink.processor_verdict(sc.cpu->path, true, os.str());
+    }
+  }
+};
+
+// --- AL009 ----------------------------------------------------------------
+
+class EdfUtilizationPass final : public Pass {
+ public:
+  const CheckInfo& info() const override {
+    static const CheckInfo kInfo{
+        "AL009", "edf-utilization",
+        "U <= 1 is exact for EDF/LLF with periodic implicit-deadline tasks",
+        Tier::Screening};
+    return kInfo;
+  }
+  void run(const Subject& subject, Sink& sink) const override {
+    if (!model_is_pure(*subject.instance)) return;
+    for (const ScreenCpu& sc : extract(subject)) {
+      if (!sc.complete || !sc.protocol) continue;
+      if (*sc.protocol != SchedulingProtocol::Edf &&
+          *sc.protocol != SchedulingProtocol::Llf)
+        continue;
+      if (!all_periodic_implicit(sc)) continue;
+      const auto sign = utilization_vs_one(sc.tasks, false);
+      if (!sign || *sign > 0) continue;
+      const std::string u = utilization_string(sc.tasks, false);
+      sink.note(sc.cpu->path,
+                "EDF utilization test holds exactly: U = " + u + " <= 1");
+      sink.processor_verdict(sc.cpu->path, true,
+                             "EDF utilization U = " + u + " <= 1 (exact)");
+    }
+  }
+};
+
+}  // namespace
+
+void register_screening_passes(Registry& reg) {
+  reg.add(std::make_unique<UtilizationOverloadPass>());
+  reg.add(std::make_unique<RmUtilizationBoundPass>());
+  reg.add(std::make_unique<EdfUtilizationPass>());
+}
+
+}  // namespace aadlsched::lint

@@ -1,6 +1,7 @@
 #include "util/string_utils.hpp"
 
 #include <cctype>
+#include <limits>
 
 namespace aadlsched::util {
 
@@ -54,6 +55,57 @@ bool starts_with(std::string_view s, std::string_view prefix) {
 std::string pad_right(std::string_view s, std::size_t width) {
   std::string out(s);
   if (out.size() < width) out.append(width - out.size(), ' ');
+  return out;
+}
+
+std::optional<std::int64_t> parse_int64(std::string_view s) {
+  std::size_t i = 0;
+  bool negative = false;
+  if (i < s.size() && (s[i] == '+' || s[i] == '-')) {
+    negative = s[i] == '-';
+    ++i;
+  }
+  if (i >= s.size()) return std::nullopt;
+  constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+  std::int64_t value = 0;
+  for (; i < s.size(); ++i) {
+    const char c = s[i];
+    if (c < '0' || c > '9') return std::nullopt;
+    const int digit = c - '0';
+    // value * 10 + digit must not exceed kMax (negation of kMax + 1 is
+    // representable, but rejecting INT64_MIN keeps the logic simple and no
+    // CLI option needs it).
+    if (value > (kMax - digit) / 10) return std::nullopt;
+    value = value * 10 + digit;
+  }
+  return negative ? -value : value;
+}
+
+std::string json_escape(std::string_view s) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default: {
+        const auto u = static_cast<unsigned char>(c);
+        if (u < 0x20) {
+          out += "\\u00";
+          out += kHex[u >> 4];
+          out += kHex[u & 0xf];
+        } else {
+          out += c;
+        }
+      }
+    }
+  }
   return out;
 }
 

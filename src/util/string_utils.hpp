@@ -1,6 +1,8 @@
 // Small string helpers used by the parsers and report renderers.
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -26,5 +28,14 @@ bool starts_with(std::string_view s, std::string_view prefix);
 
 /// Pads/truncates to a fixed width (for ASCII timeline rendering).
 std::string pad_right(std::string_view s, std::size_t width);
+
+/// Strict base-10 integer parse: optional sign, digits only, no leading or
+/// trailing junk, range-checked. Returns nullopt on any violation (unlike
+/// std::atoll, which silently accepts garbage). Used by CLI option parsing.
+std::optional<std::int64_t> parse_int64(std::string_view s);
+
+/// Escape a string for embedding in a JSON string literal (quotes,
+/// backslash, control characters).
+std::string json_escape(std::string_view s);
 
 }  // namespace aadlsched::util

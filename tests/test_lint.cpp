@@ -1,0 +1,892 @@
+// aadllint: one positive and one negative fixture per pass (AL001..AL012),
+// framework/registry behavior, and the Analyzer integration contract —
+// a conclusive screening verdict provably skips exploration (0 states) and
+// always agrees with the verdict exploration would have produced.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "acsr/builder.hpp"
+#include "acsr/context.hpp"
+#include "acsr/semantics.hpp"
+#include "aadl/parser.hpp"
+#include "core/analyzer.hpp"
+#include "core/taskset_aadl.hpp"
+#include "lint/lint.hpp"
+#include "sched/workload.hpp"
+#include "translate/translator.hpp"
+#include "versa/explorer.hpp"
+
+using namespace aadlsched;
+
+namespace {
+
+lint::Options ms_options() {
+  lint::Options opts;
+  opts.translation.quantum_ns = 1'000'000;  // 1 ms
+  return opts;
+}
+
+/// Parse + instantiate + lint. Front-end diagnostics are tolerated (some
+/// fixtures are deliberately broken); parse/instantiate must still yield an
+/// instance tree.
+lint::Report lint_source(const std::string& src,
+                         const lint::Options& opts = ms_options(),
+                         const std::string& root = "S.impl") {
+  aadl::Model model;
+  util::DiagnosticEngine diags;
+  EXPECT_TRUE(aadl::parse_aadl(model, src, diags)) << diags.render_all();
+  auto inst = aadl::instantiate(model, root, diags);
+  EXPECT_NE(inst, nullptr) << diags.render_all();
+  if (!inst) return {};
+  return lint::run(*inst, opts);
+}
+
+std::size_t count_check(const lint::Report& r, std::string_view id) {
+  std::size_t n = 0;
+  for (const lint::Finding& f : r.findings)
+    if (f.check_id == id) ++n;
+  return n;
+}
+
+const lint::Finding* first_check(const lint::Report& r, std::string_view id) {
+  for (const lint::Finding& f : r.findings)
+    if (f.check_id == id) return &f;
+  return nullptr;
+}
+
+/// A minimal clean system: one periodic thread on a rate-monotonic
+/// processor, properly bound. Lints with zero findings above Note level.
+std::string base_model(const std::string& extra_properties = {}) {
+  return R"(
+package P
+public
+  processor Cpu
+  properties
+    Scheduling_Protocol => RATE_MONOTONIC_PROTOCOL;
+  end Cpu;
+
+  thread T
+  end T;
+
+  thread implementation T.impl
+  properties
+    Dispatch_Protocol => Periodic;
+    Period => 10 ms;
+    Compute_Execution_Time => 2 ms .. 2 ms;
+    Deadline => 10 ms;
+  end T.impl;
+
+  system S
+  end S;
+
+  system implementation S.impl
+  subcomponents
+    t : thread T.impl;
+    cpu : processor Cpu;
+  properties
+    Actual_Processor_Binding => reference (cpu) applies to t;
+)" + extra_properties + R"(
+  end S.impl;
+end P;
+)";
+}
+
+/// Two periodic threads at wcet 3 / period 4 on one RM processor:
+/// U = 1.5 > 1, a guaranteed overload (AL007 conclusive NotSchedulable).
+constexpr const char* kOverloadModel = R"(
+package P
+public
+  processor Cpu
+  properties
+    Scheduling_Protocol => RATE_MONOTONIC_PROTOCOL;
+  end Cpu;
+
+  thread A
+  end A;
+
+  thread implementation A.impl
+  properties
+    Dispatch_Protocol => Periodic;
+    Period => 4 ms;
+    Compute_Execution_Time => 3 ms .. 3 ms;
+    Deadline => 4 ms;
+  end A.impl;
+
+  thread B
+  end B;
+
+  thread implementation B.impl
+  properties
+    Dispatch_Protocol => Periodic;
+    Period => 4 ms;
+    Compute_Execution_Time => 3 ms .. 3 ms;
+    Deadline => 4 ms;
+  end B.impl;
+
+  system S
+  end S;
+
+  system implementation S.impl
+  subcomponents
+    a : thread A.impl;
+    b : thread B.impl;
+    cpu : processor Cpu;
+  properties
+    Actual_Processor_Binding => reference (cpu) applies to a;
+    Actual_Processor_Binding => reference (cpu) applies to b;
+  end S.impl;
+end P;
+)";
+
+/// Two periodic threads at wcet 5 / period 10 under EDF: U = 1.0 exactly,
+/// schedulable, and the EDF utilization test is exact (AL009 vouches).
+constexpr const char* kEdfExactModel = R"(
+package P
+public
+  processor Cpu
+  properties
+    Scheduling_Protocol => EDF_PROTOCOL;
+  end Cpu;
+
+  thread A
+  end A;
+
+  thread implementation A.impl
+  properties
+    Dispatch_Protocol => Periodic;
+    Period => 10 ms;
+    Compute_Execution_Time => 5 ms .. 5 ms;
+    Deadline => 10 ms;
+  end A.impl;
+
+  thread B
+  end B;
+
+  thread implementation B.impl
+  properties
+    Dispatch_Protocol => Periodic;
+    Period => 10 ms;
+    Compute_Execution_Time => 5 ms .. 5 ms;
+    Deadline => 10 ms;
+  end B.impl;
+
+  system S
+  end S;
+
+  system implementation S.impl
+  subcomponents
+    a : thread A.impl;
+    b : thread B.impl;
+    cpu : processor Cpu;
+  properties
+    Actual_Processor_Binding => reference (cpu) applies to a;
+    Actual_Processor_Binding => reference (cpu) applies to b;
+  end S.impl;
+end P;
+)";
+
+/// Two-thread model with connectable data ports; `connections` and thread
+/// property overrides are injected by the caller.
+std::string two_thread_model(const std::string& a_features,
+                             const std::string& b_features,
+                             const std::string& connections,
+                             const std::string& a_props =
+                                 "    Dispatch_Protocol => Periodic;\n"
+                                 "    Period => 10 ms;\n"
+                                 "    Compute_Execution_Time => 1 ms .. 1 "
+                                 "ms;\n    Deadline => 10 ms;\n",
+                             const std::string& b_props =
+                                 "    Dispatch_Protocol => Periodic;\n"
+                                 "    Period => 10 ms;\n"
+                                 "    Compute_Execution_Time => 1 ms .. 1 "
+                                 "ms;\n    Deadline => 10 ms;\n",
+                             const std::string& extra_properties = {}) {
+  const std::string connections_section =
+      connections.empty() ? std::string()
+                          : "  connections\n" + connections + "\n";
+  return R"(
+package P
+public
+  processor Cpu
+  properties
+    Scheduling_Protocol => RATE_MONOTONIC_PROTOCOL;
+  end Cpu;
+
+  thread A
+  features
+)" + a_features + R"(
+  end A;
+
+  thread implementation A.impl
+  properties
+)" + a_props + R"(
+  end A.impl;
+
+  thread B
+  features
+)" + b_features + R"(
+  end B;
+
+  thread implementation B.impl
+  properties
+)" + b_props + R"(
+  end B.impl;
+
+  system S
+  end S;
+
+  system implementation S.impl
+  subcomponents
+    a : thread A.impl;
+    b : thread B.impl;
+    cpu : processor Cpu;
+)" + connections_section + R"(  properties
+    Actual_Processor_Binding => reference (cpu) applies to a;
+    Actual_Processor_Binding => reference (cpu) applies to b;
+)" + extra_properties + R"(
+  end S.impl;
+end P;
+)";
+}
+
+}  // namespace
+
+// --- framework / registry -------------------------------------------------
+
+TEST(LintRegistry, BuiltinHasAllPassesWithUniqueStableIds) {
+  const lint::Registry& reg = lint::Registry::builtin();
+  EXPECT_GE(reg.passes().size(), 12u);
+  std::set<std::string_view> ids, names;
+  for (const auto& p : reg.passes()) {
+    EXPECT_TRUE(ids.insert(p->info().id).second)
+        << "duplicate check id " << p->info().id;
+    EXPECT_TRUE(names.insert(p->info().name).second);
+  }
+  for (const char* id : {"AL001", "AL002", "AL003", "AL004", "AL005",
+                         "AL006", "AL007", "AL008", "AL009", "AL010",
+                         "AL011", "AL012"})
+    EXPECT_TRUE(ids.count(id)) << "missing check " << id;
+}
+
+TEST(LintRegistry, FindsByIdAndByName) {
+  const lint::Registry& reg = lint::Registry::builtin();
+  const lint::Pass* by_id = reg.find("AL007");
+  ASSERT_NE(by_id, nullptr);
+  EXPECT_EQ(reg.find("utilization-overload"), by_id);
+  EXPECT_EQ(by_id->info().tier, lint::Tier::Screening);
+  EXPECT_EQ(reg.find("AL001")->info().tier, lint::Tier::ModelHygiene);
+  EXPECT_EQ(reg.find("AL010")->info().tier, lint::Tier::AcsrWellFormedness);
+  EXPECT_EQ(reg.find("AL999"), nullptr);
+}
+
+TEST(LintFramework, CleanModelHasNoFindingsAboveNote) {
+  const lint::Report r = lint_source(base_model());
+  EXPECT_EQ(r.errors(), 0u) << r.render_text();
+  EXPECT_EQ(r.warnings(), 0u) << r.render_text();
+  EXPECT_TRUE(r.translated);
+}
+
+TEST(LintFramework, DisabledChecksDoNotRun) {
+  lint::Options opts = ms_options();
+  opts.disabled = {"AL007"};
+  const lint::Report r = lint_source(kOverloadModel, opts);
+  EXPECT_EQ(count_check(r, "AL007"), 0u);
+  EXPECT_EQ(r.verdict, lint::StaticVerdict::None);
+}
+
+TEST(LintFramework, RenderTextShowsCheckIdsAndVerdict) {
+  const lint::Report r = lint_source(kOverloadModel);
+  const std::string text = r.render_text();
+  EXPECT_NE(text.find("[AL007 utilization-overload]"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("static verdict: not_schedulable"), std::string::npos)
+      << text;
+}
+
+TEST(LintFramework, RenderJsonCarriesVerdictAndFindings) {
+  const lint::Report r = lint_source(kOverloadModel);
+  const std::string json = r.render_json();
+  EXPECT_NE(json.find("\"verdict\": \"not_schedulable\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"decided_by\": \"AL007\""), std::string::npos);
+  EXPECT_NE(json.find("\"check\": \"AL007\""), std::string::npos);
+  EXPECT_NE(json.find("\"translated\": true"), std::string::npos);
+}
+
+// --- AL001 unbound-thread ---------------------------------------------------
+
+TEST(LintModel, Al001FlagsUnboundThread) {
+  // base_model without the binding property line.
+  const std::string src = R"(
+package P
+public
+  processor Cpu
+  properties
+    Scheduling_Protocol => RATE_MONOTONIC_PROTOCOL;
+  end Cpu;
+  thread T
+  end T;
+  thread implementation T.impl
+  properties
+    Dispatch_Protocol => Periodic;
+    Period => 10 ms;
+    Compute_Execution_Time => 2 ms .. 2 ms;
+    Deadline => 10 ms;
+  end T.impl;
+  system S
+  end S;
+  system implementation S.impl
+  subcomponents
+    t : thread T.impl;
+    cpu : processor Cpu;
+  end S.impl;
+end P;
+)";
+  const lint::Report r = lint_source(src);
+  const lint::Finding* f = first_check(r, "AL001");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->severity, util::Severity::Error);
+  EXPECT_EQ(f->component, "t");
+}
+
+TEST(LintModel, Al001AcceptsBoundThread) {
+  EXPECT_EQ(count_check(lint_source(base_model()), "AL001"), 0u);
+}
+
+// --- AL002 unresolved-endpoint ---------------------------------------------
+
+TEST(LintModel, Al002FlagsMissingFeature) {
+  const std::string src = two_thread_model(
+      "    a_out : out data port;", "    b_in : in data port;",
+      "    c1 : port a.nosuch -> b.b_in;");
+  const lint::Report r = lint_source(src);
+  const lint::Finding* f = first_check(r, "AL002");
+  ASSERT_NE(f, nullptr) << r.render_text();
+  EXPECT_EQ(f->severity, util::Severity::Error);
+  EXPECT_NE(f->message.find("no feature 'nosuch'"), std::string::npos);
+}
+
+TEST(LintModel, Al002FlagsDirectionMismatch) {
+  // An in port as source and an out port as destination: two warnings.
+  const std::string src = two_thread_model(
+      "    a_out : out data port;", "    b_in : in data port;",
+      "    c1 : port b.b_in -> a.a_out;");
+  const lint::Report r = lint_source(src);
+  EXPECT_EQ(count_check(r, "AL002"), 2u) << r.render_text();
+  EXPECT_EQ(first_check(r, "AL002")->severity, util::Severity::Warning);
+}
+
+TEST(LintModel, Al002AcceptsResolvedConnection) {
+  const std::string src = two_thread_model(
+      "    a_out : out data port;", "    b_in : in data port;",
+      "    c1 : port a.a_out -> b.b_in;");
+  EXPECT_EQ(count_check(lint_source(src), "AL002"), 0u);
+}
+
+// --- AL003 dead-end-connection ---------------------------------------------
+
+TEST(LintModel, Al003FlagsChainThatNeverReachesAThread) {
+  // The thread's out port feeds the enclosing system's boundary port with
+  // no continuation beyond it: instantiation silently drops the chain.
+  const std::string src = R"(
+package P
+public
+  processor Cpu
+  properties
+    Scheduling_Protocol => RATE_MONOTONIC_PROTOCOL;
+  end Cpu;
+  thread A
+  features
+    a_out : out data port;
+  end A;
+  thread implementation A.impl
+  properties
+    Dispatch_Protocol => Periodic;
+    Period => 10 ms;
+    Compute_Execution_Time => 1 ms .. 1 ms;
+    Deadline => 10 ms;
+  end A.impl;
+  system S
+  features
+    sys_out : out data port;
+  end S;
+  system implementation S.impl
+  subcomponents
+    a : thread A.impl;
+    cpu : processor Cpu;
+  connections
+    c1 : port a.a_out -> sys_out;
+  properties
+    Actual_Processor_Binding => reference (cpu) applies to a;
+  end S.impl;
+end P;
+)";
+  const lint::Report r = lint_source(src);
+  const lint::Finding* f = first_check(r, "AL003");
+  ASSERT_NE(f, nullptr) << r.render_text();
+  EXPECT_EQ(f->severity, util::Severity::Warning);
+  EXPECT_EQ(f->component, "a.a_out");
+}
+
+TEST(LintModel, Al003AcceptsThreadToThreadConnection) {
+  const std::string src = two_thread_model(
+      "    a_out : out data port;", "    b_in : in data port;",
+      "    c1 : port a.a_out -> b.b_in;");
+  EXPECT_EQ(count_check(lint_source(src), "AL003"), 0u);
+}
+
+// --- AL004 missing-property -------------------------------------------------
+
+TEST(LintModel, Al004FlagsMissingMandatoryProperties) {
+  // Thread with neither Dispatch_Protocol nor Compute_Execution_Time, on a
+  // processor without Scheduling_Protocol: three distinct errors.
+  const std::string src = R"(
+package P
+public
+  processor Cpu
+  end Cpu;
+  thread T
+  end T;
+  thread implementation T.impl
+  properties
+    Period => 10 ms;
+  end T.impl;
+  system S
+  end S;
+  system implementation S.impl
+  subcomponents
+    t : thread T.impl;
+    cpu : processor Cpu;
+  properties
+    Actual_Processor_Binding => reference (cpu) applies to t;
+  end S.impl;
+end P;
+)";
+  const lint::Report r = lint_source(src);
+  EXPECT_EQ(count_check(r, "AL004"), 3u) << r.render_text();
+  EXPECT_FALSE(r.translated);  // translation rejects the same model
+}
+
+TEST(LintModel, Al004AcceptsFullyAnnotatedModel) {
+  EXPECT_EQ(count_check(lint_source(base_model()), "AL004"), 0u);
+}
+
+// --- AL005 inconsistent-timing ----------------------------------------------
+
+TEST(LintModel, Al005FlagsDeadlineBeyondPeriod) {
+  const std::string src = two_thread_model(
+      "    a_out : out data port;", "    b_in : in data port;", "",
+      "    Dispatch_Protocol => Periodic;\n    Period => 5 ms;\n"
+      "    Compute_Execution_Time => 1 ms .. 1 ms;\n    Deadline => 10 ms;\n");
+  const lint::Report r = lint_source(src);
+  const lint::Finding* f = first_check(r, "AL005");
+  ASSERT_NE(f, nullptr) << r.render_text();
+  EXPECT_EQ(f->severity, util::Severity::Error);
+  EXPECT_NE(f->message.find("Deadline exceeds Period"), std::string::npos);
+}
+
+TEST(LintModel, Al005WcetBeyondDeadlineIsConclusivelyNotSchedulable) {
+  // cmax 5 quanta > deadline 3 quanta: the thread cannot meet its deadline
+  // even alone, a guaranteed counterexample.
+  const std::string src = two_thread_model(
+      "    a_out : out data port;", "    b_in : in data port;", "",
+      "    Dispatch_Protocol => Periodic;\n    Period => 10 ms;\n"
+      "    Compute_Execution_Time => 5 ms .. 5 ms;\n    Deadline => 3 ms;\n");
+  const lint::Report r = lint_source(src);
+  ASSERT_NE(first_check(r, "AL005"), nullptr) << r.render_text();
+  EXPECT_EQ(r.verdict, lint::StaticVerdict::NotSchedulable);
+  EXPECT_EQ(r.decided_by, "AL005");
+}
+
+TEST(LintModel, Al005AcceptsConsistentTiming) {
+  EXPECT_EQ(count_check(lint_source(base_model()), "AL005"), 0u);
+}
+
+// --- AL006 queue-misconfig --------------------------------------------------
+
+TEST(LintModel, Al006FlagsQueuePropertiesOnDataConnection) {
+  const std::string src = two_thread_model(
+      "    a_out : out data port;", "    b_in : in data port;",
+      "    c1 : port a.a_out -> b.b_in;",
+      "    Dispatch_Protocol => Periodic;\n    Period => 10 ms;\n"
+      "    Compute_Execution_Time => 1 ms .. 1 ms;\n    Deadline => 10 ms;\n",
+      "    Dispatch_Protocol => Periodic;\n    Period => 10 ms;\n"
+      "    Compute_Execution_Time => 1 ms .. 1 ms;\n    Deadline => 10 ms;\n",
+      "    Queue_Size => 4 applies to c1;\n");
+  const lint::Report r = lint_source(src);
+  const lint::Finding* f = first_check(r, "AL006");
+  ASSERT_NE(f, nullptr) << r.render_text();
+  EXPECT_EQ(f->severity, util::Severity::Warning);
+  EXPECT_NE(f->message.find("data port"), std::string::npos);
+}
+
+TEST(LintModel, Al006FlagsOutOfRangeQueueSize) {
+  const std::string src = two_thread_model(
+      "    a_out : out event port;", "    b_in : in event port;",
+      "    c1 : port a.a_out -> b.b_in;",
+      "    Dispatch_Protocol => Periodic;\n    Period => 10 ms;\n"
+      "    Compute_Execution_Time => 1 ms .. 1 ms;\n    Deadline => 10 ms;\n",
+      "    Dispatch_Protocol => Sporadic;\n    Period => 10 ms;\n"
+      "    Compute_Execution_Time => 1 ms .. 1 ms;\n    Deadline => 10 ms;\n",
+      "    Queue_Size => 0 applies to c1;\n");
+  const lint::Report r = lint_source(src);
+  const lint::Finding* f = first_check(r, "AL006");
+  ASSERT_NE(f, nullptr) << r.render_text();
+  EXPECT_EQ(f->severity, util::Severity::Error);
+  EXPECT_NE(f->message.find("out of range"), std::string::npos);
+}
+
+TEST(LintModel, Al006AcceptsValidQueueOnSporadicDestination) {
+  const std::string src = two_thread_model(
+      "    a_out : out event port;", "    b_in : in event port;",
+      "    c1 : port a.a_out -> b.b_in;",
+      "    Dispatch_Protocol => Periodic;\n    Period => 10 ms;\n"
+      "    Compute_Execution_Time => 1 ms .. 1 ms;\n    Deadline => 10 ms;\n",
+      "    Dispatch_Protocol => Sporadic;\n    Period => 10 ms;\n"
+      "    Compute_Execution_Time => 1 ms .. 1 ms;\n    Deadline => 10 ms;\n",
+      "    Queue_Size => 2 applies to c1;\n");
+  EXPECT_EQ(count_check(lint_source(src), "AL006"), 0u);
+}
+
+// --- AL007 utilization-overload ---------------------------------------------
+
+TEST(LintScreen, Al007OverloadIsConclusivelyNotSchedulable) {
+  const lint::Report r = lint_source(kOverloadModel);
+  const lint::Finding* f = first_check(r, "AL007");
+  ASSERT_NE(f, nullptr) << r.render_text();
+  EXPECT_EQ(f->severity, util::Severity::Error);
+  EXPECT_EQ(f->component, "cpu");
+  EXPECT_EQ(r.verdict, lint::StaticVerdict::NotSchedulable);
+  EXPECT_EQ(r.decided_by, "AL007");
+  EXPECT_TRUE(r.translated);
+}
+
+TEST(LintScreen, Al007SporadicOverloadIsOnlyAWarning) {
+  // Periodic load alone fits; adding the sporadic thread at its maximum
+  // rate exceeds 1 — advisory only, never a conclusive verdict.
+  const std::string src = two_thread_model(
+      "    a_out : out event port;", "    b_in : in event port;",
+      "    c1 : port a.a_out -> b.b_in;",
+      "    Dispatch_Protocol => Periodic;\n    Period => 4 ms;\n"
+      "    Compute_Execution_Time => 3 ms .. 3 ms;\n    Deadline => 4 ms;\n",
+      "    Dispatch_Protocol => Sporadic;\n    Period => 4 ms;\n"
+      "    Compute_Execution_Time => 2 ms .. 2 ms;\n    Deadline => 4 ms;\n");
+  const lint::Report r = lint_source(src);
+  const lint::Finding* f = first_check(r, "AL007");
+  ASSERT_NE(f, nullptr) << r.render_text();
+  EXPECT_EQ(f->severity, util::Severity::Warning);
+  EXPECT_NE(r.verdict, lint::StaticVerdict::NotSchedulable);
+}
+
+TEST(LintScreen, Al007AcceptsFeasibleLoad) {
+  EXPECT_EQ(count_check(lint_source(base_model()), "AL007"), 0u);
+}
+
+// --- AL008 rm-utilization-bound ---------------------------------------------
+
+TEST(LintScreen, Al008VouchesForLowUtilizationRmProcessor) {
+  const lint::Report r = lint_source(base_model());
+  ASSERT_NE(first_check(r, "AL008"), nullptr) << r.render_text();
+  ASSERT_EQ(r.processor_verdicts.size(), 1u);
+  EXPECT_EQ(r.processor_verdicts[0].check_id, "AL008");
+  EXPECT_TRUE(r.processor_verdicts[0].schedulable);
+  EXPECT_EQ(r.verdict, lint::StaticVerdict::Schedulable);
+  EXPECT_EQ(r.decided_by, "AL008");
+}
+
+TEST(LintScreen, Al008AbstainsWhenHyperbolicBoundFails) {
+  // U = 4/9 + 4/10 = 0.844 but (13/9)(14/10) = 2.022 > 2: the sufficient
+  // bound does not apply, so no verdict is offered (exploration decides).
+  const std::string src = two_thread_model(
+      "    a_out : out data port;", "    b_in : in data port;", "",
+      "    Dispatch_Protocol => Periodic;\n    Period => 9 ms;\n"
+      "    Compute_Execution_Time => 4 ms .. 4 ms;\n    Deadline => 9 ms;\n",
+      "    Dispatch_Protocol => Periodic;\n    Period => 10 ms;\n"
+      "    Compute_Execution_Time => 4 ms .. 4 ms;\n    Deadline => 10 ms;\n");
+  const lint::Report r = lint_source(src);
+  EXPECT_EQ(count_check(r, "AL008"), 0u) << r.render_text();
+  EXPECT_EQ(r.verdict, lint::StaticVerdict::None);
+}
+
+TEST(LintScreen, Al008AbstainsOnImpureModel) {
+  // An event connection makes the classical abstraction inexact: no vouch
+  // even though the utilization is low.
+  const std::string src = two_thread_model(
+      "    a_out : out event port;", "    b_in : in event port;",
+      "    c1 : port a.a_out -> b.b_in;",
+      "    Dispatch_Protocol => Periodic;\n    Period => 10 ms;\n"
+      "    Compute_Execution_Time => 1 ms .. 1 ms;\n    Deadline => 10 ms;\n",
+      "    Dispatch_Protocol => Sporadic;\n    Period => 10 ms;\n"
+      "    Compute_Execution_Time => 1 ms .. 1 ms;\n    Deadline => 10 ms;\n");
+  const lint::Report r = lint_source(src);
+  EXPECT_EQ(count_check(r, "AL008"), 0u) << r.render_text();
+  EXPECT_EQ(r.verdict, lint::StaticVerdict::None);
+}
+
+// --- AL009 edf-utilization --------------------------------------------------
+
+TEST(LintScreen, Al009VouchesForEdfAtExactlyFullUtilization) {
+  const lint::Report r = lint_source(kEdfExactModel);
+  ASSERT_NE(first_check(r, "AL009"), nullptr) << r.render_text();
+  EXPECT_EQ(r.verdict, lint::StaticVerdict::Schedulable);
+  EXPECT_EQ(r.decided_by, "AL009");
+}
+
+TEST(LintScreen, Al009AbstainsOnConstrainedDeadlines) {
+  // Deadline < period: U <= 1 is no longer sufficient, so no vouch.
+  const std::string src = two_thread_model(
+      "    a_out : out data port;", "    b_in : in data port;", "",
+      "    Dispatch_Protocol => Periodic;\n    Period => 10 ms;\n"
+      "    Compute_Execution_Time => 2 ms .. 2 ms;\n    Deadline => 8 ms;\n",
+      "    Dispatch_Protocol => Periodic;\n    Period => 10 ms;\n"
+      "    Compute_Execution_Time => 2 ms .. 2 ms;\n    Deadline => 10 ms;\n",
+      "    Scheduling_Protocol => EDF_PROTOCOL applies to cpu;\n");
+  const lint::Report r = lint_source(src);
+  EXPECT_EQ(count_check(r, "AL009"), 0u) << r.render_text();
+  EXPECT_EQ(r.verdict, lint::StaticVerdict::None);
+}
+
+// --- AL010 unguarded-recursion ----------------------------------------------
+
+TEST(LintAcsr, Al010FlagsUnguardedSelfRecursion) {
+  acsr::Context ctx;
+  acsr::Builder b(ctx);
+  b.def("P", {}, b.pick({b.call("P"), b.idle(b.nil())}));
+  const lint::Report r = lint::run_acsr(ctx, ms_options());
+  const lint::Finding* f = first_check(r, "AL010");
+  ASSERT_NE(f, nullptr) << r.render_text();
+  EXPECT_EQ(f->severity, util::Severity::Error);
+  EXPECT_EQ(f->component, "P");
+  // Passes that need the instance model are recorded as skipped.
+  EXPECT_NE(std::find(r.skipped.begin(), r.skipped.end(), "AL001"),
+            r.skipped.end());
+  EXPECT_NE(std::find(r.skipped.begin(), r.skipped.end(), "AL012"),
+            r.skipped.end());
+}
+
+TEST(LintAcsr, Al010FlagsMutualUnguardedRecursion) {
+  acsr::Context ctx;
+  acsr::Builder b(ctx);
+  b.def("P", {}, b.call("Q"));
+  b.def("Q", {}, b.call("P"));
+  const lint::Report r = lint::run_acsr(ctx, ms_options());
+  EXPECT_EQ(count_check(r, "AL010"), 2u) << r.render_text();
+}
+
+TEST(LintAcsr, Al010AcceptsGuardedRecursion) {
+  acsr::Context ctx;
+  acsr::Builder b(ctx);
+  b.def("Q", {}, b.act({{"cpu", b.c(0)}}, b.call("Q")));
+  b.def("R", {}, b.recv("go", b.c(1), b.call("R")));
+  const lint::Report r = lint::run_acsr(ctx, ms_options());
+  EXPECT_EQ(count_check(r, "AL010"), 0u) << r.render_text();
+}
+
+// --- AL011 par3-conflict ----------------------------------------------------
+
+TEST(LintAcsr, Al011FlagsSiblingsThatAlwaysShareAResource) {
+  acsr::Context ctx;
+  acsr::Builder b(ctx);
+  b.def("A", {}, b.act({{"r", b.c(0)}}, b.call("A")));
+  b.def("B", {}, b.act({{"r", b.c(1)}}, b.call("B")));
+  b.def("Sys", {}, b.par({b.call("A"), b.call("B")}));
+  const lint::Report r = lint::run_acsr(ctx, ms_options());
+  const lint::Finding* f = first_check(r, "AL011");
+  ASSERT_NE(f, nullptr) << r.render_text();
+  EXPECT_EQ(f->severity, util::Severity::Warning);
+  EXPECT_EQ(f->component, "Sys");
+  EXPECT_NE(f->message.find("'r'"), std::string::npos);
+}
+
+TEST(LintAcsr, Al011AcceptsDisjointResources) {
+  acsr::Context ctx;
+  acsr::Builder b(ctx);
+  b.def("A", {}, b.act({{"r", b.c(0)}}, b.call("A")));
+  b.def("B", {}, b.act({{"s", b.c(1)}}, b.call("B")));
+  b.def("Sys", {}, b.par({b.call("A"), b.call("B")}));
+  const lint::Report r = lint::run_acsr(ctx, ms_options());
+  EXPECT_EQ(count_check(r, "AL011"), 0u) << r.render_text();
+}
+
+TEST(LintAcsr, Al011AcceptsChoiceThatCanAvoidTheSharedResource) {
+  // A's must-use set is the intersection over its alternatives — empty, so
+  // no conflict is certain and the pass stays silent (under-approximation).
+  acsr::Context ctx;
+  acsr::Builder b(ctx);
+  b.def("A", {}, b.pick({b.act({{"r", b.c(0)}}, b.call("A")),
+                         b.act({{"s", b.c(0)}}, b.call("A"))}));
+  b.def("B", {}, b.act({{"r", b.c(1)}}, b.call("B")));
+  b.def("Sys", {}, b.par({b.call("A"), b.call("B")}));
+  const lint::Report r = lint::run_acsr(ctx, ms_options());
+  EXPECT_EQ(count_check(r, "AL011"), 0u) << r.render_text();
+}
+
+// --- AL012 instantaneous-cycle ----------------------------------------------
+
+namespace {
+
+std::string cycle_model(const std::string& cet) {
+  return two_thread_model(
+      "    a_in : in event port;\n    a_out : out event port;",
+      "    b_in : in event port;\n    b_out : out event port;",
+      "    c_ab : port a.a_out -> b.b_in;\n"
+      "    c_ba : port b.b_out -> a.a_in;",
+      "    Dispatch_Protocol => Aperiodic;\n"
+      "    Compute_Execution_Time => " + cet + ";\n"
+      "    Deadline => 20 ms;\n    Priority => 1;\n",
+      "    Dispatch_Protocol => Aperiodic;\n"
+      "    Compute_Execution_Time => " + cet + ";\n"
+      "    Deadline => 20 ms;\n    Priority => 2;\n");
+}
+
+}  // namespace
+
+TEST(LintAcsr, Al012FlagsInstantaneousEventCycle) {
+  const lint::Report r = lint_source(cycle_model("0 ms .. 1 ms"));
+  const lint::Finding* f = first_check(r, "AL012");
+  ASSERT_NE(f, nullptr) << r.render_text();
+  EXPECT_EQ(f->severity, util::Severity::Error);
+  EXPECT_NE(f->message.find("a -> b -> a"), std::string::npos) << f->message;
+}
+
+TEST(LintAcsr, Al012AcceptsCycleWithNonZeroExecution) {
+  // cmin of one quantum breaks the instantaneous chase: time must advance.
+  const lint::Report r = lint_source(cycle_model("1 ms .. 1 ms"));
+  EXPECT_EQ(count_check(r, "AL012"), 0u) << r.render_text();
+}
+
+// --- Analyzer integration ---------------------------------------------------
+
+TEST(LintAnalyzer, ConclusiveOverloadSkipsExploration) {
+  core::AnalyzerOptions opts;
+  opts.translation.quantum_ns = 1'000'000;
+  opts.run_lint = true;
+  const core::AnalysisResult r =
+      core::analyze_source(kOverloadModel, "S.impl", opts);
+  EXPECT_TRUE(r.ok) << r.diagnostics;
+  EXPECT_TRUE(r.exhaustive);
+  EXPECT_FALSE(r.schedulable);
+  EXPECT_EQ(r.states, 0u);  // provably skipped exploration
+  EXPECT_EQ(r.decided_by, "AL007");
+  EXPECT_NE(r.summary().find("decided statically"), std::string::npos);
+}
+
+TEST(LintAnalyzer, DisablingLintRestoresFullExploration) {
+  core::AnalyzerOptions opts;
+  opts.translation.quantum_ns = 1'000'000;
+  opts.run_lint = false;
+  const core::AnalysisResult r =
+      core::analyze_source(kOverloadModel, "S.impl", opts);
+  EXPECT_TRUE(r.ok) << r.diagnostics;
+  EXPECT_GT(r.states, 0u);
+  EXPECT_FALSE(r.schedulable);  // exploration agrees with the static verdict
+  EXPECT_TRUE(r.decided_by.empty());
+}
+
+TEST(LintAnalyzer, ConclusiveScheduableVerdictAgreesWithExploration) {
+  core::AnalyzerOptions opts;
+  opts.translation.quantum_ns = 1'000'000;
+  opts.run_lint = true;
+  const core::AnalysisResult fast =
+      core::analyze_source(kEdfExactModel, "S.impl", opts);
+  EXPECT_TRUE(fast.ok) << fast.diagnostics;
+  EXPECT_TRUE(fast.schedulable);
+  EXPECT_EQ(fast.states, 0u);
+  EXPECT_EQ(fast.decided_by, "AL009");
+
+  opts.run_lint = false;
+  const core::AnalysisResult full =
+      core::analyze_source(kEdfExactModel, "S.impl", opts);
+  EXPECT_TRUE(full.ok) << full.diagnostics;
+  EXPECT_GT(full.states, 0u);
+  EXPECT_EQ(full.schedulable, fast.schedulable);
+}
+
+TEST(LintAnalyzer, LintGateStopsAnalysisOnHygieneErrors) {
+  // Missing mandatory properties trip the fail_on=Error gate before any
+  // translation or exploration is attempted.
+  const std::string src = two_thread_model(
+      "    a_out : out data port;", "    b_in : in data port;", "",
+      "    Period => 10 ms;\n");
+  core::AnalyzerOptions opts;
+  opts.translation.quantum_ns = 1'000'000;
+  opts.run_lint = true;
+  const core::AnalysisResult r = core::analyze_source(src, "S.impl", opts);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.diagnostics.find("AL004"), std::string::npos) << r.diagnostics;
+}
+
+TEST(LintAnalyzer, WarningsDoNotTripTheDefaultGate) {
+  // Direction-mismatch warnings (AL002) are below fail_on=Error: analysis
+  // proceeds to exploration as usual. Constrained deadlines keep the model
+  // outside the screening fragment, so exploration genuinely runs.
+  const std::string src = two_thread_model(
+      "    a_out : out data port;", "    b_in : in data port;",
+      "    c1 : port b.b_in -> a.a_out;",
+      "    Dispatch_Protocol => Periodic;\n    Period => 10 ms;\n"
+      "    Compute_Execution_Time => 1 ms .. 1 ms;\n    Deadline => 8 ms;\n");
+  core::AnalyzerOptions opts;
+  opts.translation.quantum_ns = 1'000'000;
+  opts.run_lint = true;
+  const core::AnalysisResult r = core::analyze_source(src, "S.impl", opts);
+  EXPECT_TRUE(r.ok) << r.diagnostics;
+  EXPECT_GT(r.states, 0u);
+  ASSERT_TRUE(r.lint_report.has_value());
+  EXPECT_GT(r.lint_report->warnings(), 0u);
+}
+
+// --- cross-validation: conclusive lint verdicts match exploration -----------
+
+namespace {
+
+/// Full-pipeline exploration verdict for a generated task set (mirrors
+/// tests/test_cross_validation.cpp).
+bool explore_verdict(const sched::TaskSet& ts,
+                     sched::SchedulingPolicy policy) {
+  const std::string src = core::taskset_to_aadl(ts, policy);
+  aadl::Model model;
+  util::DiagnosticEngine diags;
+  EXPECT_TRUE(aadl::parse_aadl(model, src, diags)) << diags.render_all();
+  auto inst = aadl::instantiate(model, "Root.impl", diags);
+  EXPECT_NE(inst, nullptr);
+  acsr::Context ctx;
+  translate::TranslateOptions topts;
+  topts.quantum_ns = 1'000'000;
+  auto tr = translate::translate(ctx, *inst, diags, topts);
+  EXPECT_TRUE(tr.has_value()) << diags.render_all();
+  acsr::Semantics sem(ctx);
+  const auto er = versa::explore(sem, tr->initial);
+  EXPECT_TRUE(er.complete || er.deadlock_found);
+  return er.schedulable();
+}
+
+}  // namespace
+
+TEST(LintCrossValidation, EdfScreeningVerdictsMatchExploration) {
+  // Generated periodic implicit-deadline EDF workloads are always within
+  // the exact screening fragment: lint must reach a conclusive verdict and
+  // that verdict must agree with full state-space exploration.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    sched::WorkloadSpec spec;
+    spec.task_count = 3;
+    spec.total_utilization = 0.9;
+    spec.periods = {3, 4, 5, 6, 8};  // small hyperperiods
+    const sched::TaskSet ts = sched::generate_workload(spec, seed);
+
+    const std::string src =
+        core::taskset_to_aadl(ts, sched::SchedulingPolicy::Edf);
+    const lint::Report r = lint_source(src, ms_options(), "Root.impl");
+    ASSERT_TRUE(r.translated) << "seed " << seed;
+    ASSERT_NE(r.verdict, lint::StaticVerdict::None)
+        << "seed " << seed << "\n" << r.render_text();
+
+    const bool lint_schedulable =
+        r.verdict == lint::StaticVerdict::Schedulable;
+    EXPECT_EQ(lint_schedulable,
+              explore_verdict(ts, sched::SchedulingPolicy::Edf))
+        << "seed " << seed << " decided by " << r.decided_by;
+  }
+}

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <limits>
 #include <set>
 #include <thread>
 
@@ -180,4 +181,45 @@ TEST(ThreadPool, ReusableAfterWait) {
   pool.parallel_for(10, [&](std::size_t) { ++count; });
   pool.parallel_for(10, [&](std::size_t) { ++count; });
   EXPECT_EQ(count.load(), 20);
+}
+
+TEST(ParseInt64, AcceptsWellFormedIntegers) {
+  EXPECT_EQ(u::parse_int64("0"), 0);
+  EXPECT_EQ(u::parse_int64("42"), 42);
+  EXPECT_EQ(u::parse_int64("+42"), 42);
+  EXPECT_EQ(u::parse_int64("-7"), -7);
+  EXPECT_EQ(u::parse_int64("007"), 7);
+  EXPECT_EQ(u::parse_int64("9223372036854775807"),
+            std::numeric_limits<std::int64_t>::max());
+}
+
+TEST(ParseInt64, RejectsGarbageAndPartialMatches) {
+  // std::atoll accepted every one of these (the CLI regression this
+  // replaces).
+  for (const char* bad : {"", "+", "-", "x", "2x", "x2", "4 2", " 42", "42 ",
+                          "--4", "+-4", "1e3", "0x10"})
+    EXPECT_FALSE(u::parse_int64(bad).has_value()) << '"' << bad << '"';
+}
+
+TEST(ParseInt64, RejectsOverflow) {
+  EXPECT_FALSE(u::parse_int64("9223372036854775808").has_value());
+  EXPECT_FALSE(u::parse_int64("99999999999999999999").has_value());
+  // INT64_MIN is rejected by design (no CLI option needs it).
+  EXPECT_FALSE(u::parse_int64("-9223372036854775808").has_value());
+  EXPECT_EQ(u::parse_int64("-9223372036854775807"),
+            std::numeric_limits<std::int64_t>::min() + 1);
+}
+
+TEST(JsonEscape, PassesPlainTextThrough) {
+  EXPECT_EQ(u::json_escape("processor 'cpu' U = 1.5"),
+            "processor 'cpu' U = 1.5");
+}
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(u::json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(u::json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(u::json_escape("line1\nline2"), "line1\\nline2");
+  EXPECT_EQ(u::json_escape("\t\r\b\f"), "\\t\\r\\b\\f");
+  EXPECT_EQ(u::json_escape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(u::json_escape(std::string(1, '\x1f')), "\\u001f");
 }

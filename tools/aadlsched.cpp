@@ -13,11 +13,16 @@
 //   --max-states <n>       exploration bound (default 5,000,000)
 //   --workers <n>          parallel exploration workers (default 1 =
 //                          serial; 0 = hardware concurrency)
+//   --lint                 run the static checks only (aadllint) and exit;
+//                          0 = clean, 1 = error-severity findings
+//   --lint-format <f>      lint report format: text (default) or json
+//   --no-lint              skip the lint pre-pass before exploration
 //
 // Exit code: 0 schedulable, 1 not schedulable, 2 usage/front-end error.
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <sstream>
 #include <vector>
 
@@ -25,8 +30,10 @@
 #include "aadl/parser.hpp"
 #include "core/analyzer.hpp"
 #include "core/taskset_extract.hpp"
+#include "lint/lint.hpp"
 #include "sched/analysis.hpp"
 #include "sched/simulator.hpp"
+#include "util/string_utils.hpp"
 
 namespace {
 
@@ -34,8 +41,24 @@ int usage() {
   std::cerr <<
       "usage: aadlsched <model.aadl>... <Root.impl> [--quantum ms] [--acsr]\n"
       "                 [--classical] [--latency src sink ms]\n"
-      "                 [--late-completion] [--max-states n] [--workers n]\n";
+      "                 [--late-completion] [--max-states n] [--workers n]\n"
+      "                 [--lint] [--lint-format text|json] [--no-lint]\n";
   return 2;
+}
+
+/// Strict numeric option parsing: std::atoll silently accepts garbage and
+/// out-of-range values; reject anything outside [min, max] with a usage
+/// error instead.
+std::optional<std::int64_t> parse_option(const char* flag, const char* value,
+                                         std::int64_t min, std::int64_t max) {
+  const auto n = aadlsched::util::parse_int64(value);
+  if (!n || *n < min || *n > max) {
+    std::cerr << "invalid value '" << value << "' for " << flag
+              << " (expected an integer in [" << min << ", " << max
+              << "])\n";
+    return std::nullopt;
+  }
+  return n;
 }
 
 std::optional<std::string> read_file(const std::string& path) {
@@ -55,14 +78,18 @@ int main(int argc, char** argv) {
   std::string root;
   core::AnalyzerOptions opts;
   opts.translation.quantum_ns = 1'000'000;
+  opts.run_lint = true;
   bool dump_acsr = false;
   bool classical = false;
+  bool lint_only = false;
+  bool lint_json = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--quantum" && i + 1 < argc) {
-      opts.translation.quantum_ns = std::atoll(argv[++i]) * 1'000'000;
-      if (opts.translation.quantum_ns <= 0) return usage();
+      const auto ms = parse_option("--quantum", argv[++i], 1, 1'000'000'000);
+      if (!ms) return usage();
+      opts.translation.quantum_ns = *ms * 1'000'000;
     } else if (arg == "--acsr") {
       dump_acsr = true;
     } else if (arg == "--classical") {
@@ -71,18 +98,36 @@ int main(int argc, char** argv) {
       opts.translation.time_model =
           translate::ExecutionTimeModel::LateCompletion;
     } else if (arg == "--max-states" && i + 1 < argc) {
-      opts.exploration.max_states =
-          static_cast<std::uint64_t>(std::atoll(argv[++i]));
+      const auto n = parse_option("--max-states", argv[++i], 1,
+                                  std::numeric_limits<std::int64_t>::max());
+      if (!n) return usage();
+      opts.exploration.max_states = static_cast<std::uint64_t>(*n);
     } else if (arg == "--workers" && i + 1 < argc) {
-      const long long n = std::atoll(argv[++i]);
-      if (n < 0) return usage();
-      opts.parallel.workers = static_cast<std::size_t>(n);
+      const auto n = parse_option("--workers", argv[++i], 0, 65536);
+      if (!n) return usage();
+      opts.parallel.workers = static_cast<std::size_t>(*n);
     } else if (arg == "--latency" && i + 3 < argc) {
       translate::LatencySpec spec;
       spec.source_path = argv[++i];
       spec.sink_path = argv[++i];
-      spec.max_latency_ns = std::atoll(argv[++i]) * 1'000'000;
+      const auto ms = parse_option("--latency", argv[++i], 1, 1'000'000'000);
+      if (!ms) return usage();
+      spec.max_latency_ns = *ms * 1'000'000;
       opts.translation.latency_specs.push_back(std::move(spec));
+    } else if (arg == "--lint") {
+      lint_only = true;
+    } else if (arg == "--no-lint") {
+      opts.run_lint = false;
+    } else if (arg == "--lint-format" && i + 1 < argc) {
+      const std::string fmt = argv[++i];
+      if (fmt == "json") {
+        lint_json = true;
+      } else if (fmt == "text") {
+        lint_json = false;
+      } else {
+        std::cerr << "unknown lint format '" << fmt << "'\n";
+        return usage();
+      }
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "unknown option '" << arg << "'\n";
       return usage();
@@ -112,6 +157,14 @@ int main(int argc, char** argv) {
   if (!instance || diags.has_errors()) {
     std::cerr << diags.render_all();
     return 2;
+  }
+
+  if (lint_only) {
+    lint::Options lopts;
+    lopts.translation = opts.translation;
+    const lint::Report report = lint::run(*instance, lopts);
+    std::cout << (lint_json ? report.render_json() : report.render_text());
+    return report.errors() == 0 ? 0 : 1;
   }
 
   if (dump_acsr) {

@@ -1,0 +1,34 @@
+#!/bin/sh
+# Run clang-tidy over the project sources using the compile database that
+# CMake exports (CMAKE_EXPORT_COMPILE_COMMANDS is always on, see the
+# top-level CMakeLists.txt).
+#
+#   tools/run_clang_tidy.sh [build-dir] [extra clang-tidy args...]
+#
+# Exits 0 with a notice when clang-tidy is not installed so CI images
+# without LLVM tooling are not broken by this gate.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+[ $# -gt 0 ] && shift
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "run_clang_tidy.sh: clang-tidy not found on PATH; skipping" >&2
+  exit 0
+fi
+
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+  echo "run_clang_tidy.sh: $build_dir/compile_commands.json missing;" \
+       "configure first: cmake -B $build_dir -S $repo_root" >&2
+  exit 1
+fi
+
+# Sources only; headers are pulled in via HeaderFilterRegex in .clang-tidy.
+files=$(find "$repo_root/src" "$repo_root/tools" -name '*.cpp' | sort)
+
+status=0
+for f in $files; do
+  clang-tidy -p "$build_dir" --quiet "$@" "$f" || status=1
+done
+exit $status
