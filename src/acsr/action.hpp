@@ -57,6 +57,12 @@ class ActionTable {
 
   std::size_t size() const { return actions_.size(); }
 
+  /// Approximate footprint (resource-use vectors + index), for the
+  /// resource-governance memory estimate.
+  std::size_t approx_bytes() const {
+    return actions_.size() * (sizeof(std::vector<ResourceUse>) + 64);
+  }
+
   /// See TermTable::set_shared_mode: locked interning for the parallel
   /// explorer (Par3 merges intern new combined actions on the hot path).
   void set_shared_mode(bool shared) { shared_ = shared; }

@@ -232,6 +232,21 @@ TermId Context::unfold(TermId call_term) {
   return ground;
 }
 
+std::size_t Context::approx_bytes() const {
+  // Rough per-entry constants stand in for hash-index and allocator
+  // overhead; the term table (nodes + payload arena) dominates on any
+  // non-trivial exploration, so precision elsewhere does not matter.
+  std::size_t bytes = terms_.approx_bytes() + actions_.approx_bytes();
+  bytes += exprs_.expr_count() * (sizeof(ExprNode) + 48);
+  bytes += (resources_.size() + events_.size()) * 64;
+  bytes += open_terms_.size() * sizeof(OpenTermNode);
+  bytes += defs_.size() * sizeof(Definition);
+  // Unfold memo: one map entry per distinct Call state seen.
+  for (std::size_t s = 0; s < kUnfoldShards; ++s)
+    bytes += unfold_shards_[s].memo.size() * 48;
+  return bytes;
+}
+
 void Context::set_shared_mode(bool shared) {
   shared_ = shared;
   resources_.set_shared_mode(shared);

@@ -94,6 +94,14 @@ class Context {
   /// Memoized: states revisit the same calls constantly.
   TermId unfold(TermId call_term);
 
+  // --- resource governance ---------------------------------------------
+  /// Approximate bytes held by the hash-cons tables (terms, actions,
+  /// expressions, interners). Dominated by the term table during
+  /// exploration; used with the visited-set footprint to enforce
+  /// RunBudget::memory_bytes (util/budget.hpp). Call while no worker is
+  /// appending (the explorers probe at expansion/level boundaries).
+  std::size_t approx_bytes() const;
+
   // --- concurrency -----------------------------------------------------
   /// Switch every table into (or out of) shared mode. Must be called while
   /// no other thread touches the Context; definitions and open terms must

@@ -86,6 +86,13 @@ class TermTable {
 
   std::size_t size() const { return nodes_.size(); }
 
+  /// Approximate footprint (nodes + payload arena + hash index overhead),
+  /// for the resource-governance memory estimate (util/budget.hpp).
+  std::size_t approx_bytes() const {
+    return nodes_.size() * (sizeof(TermNode) + 48) +
+           arena_.size() * sizeof(std::uint32_t);
+  }
+
   /// In shared mode every intern takes its index-shard lock (and a global
   /// append lock on a miss) so workers of the parallel explorer can extend
   /// the term DAG concurrently. Outside shared mode construction is

@@ -173,6 +173,16 @@ std::string FailingScenario::render() const {
   return os.str();
 }
 
+std::string_view to_string(Outcome o) {
+  switch (o) {
+    case Outcome::Error: return "error";
+    case Outcome::Schedulable: return "schedulable";
+    case Outcome::NotSchedulable: return "not-schedulable";
+    case Outcome::Inconclusive: return "inconclusive";
+  }
+  return "?";
+}
+
 std::string AnalysisResult::summary() const {
   std::ostringstream os;
   if (!ok) {
@@ -187,18 +197,24 @@ std::string AnalysisResult::summary() const {
       os << "\n  " << lint_report->verdict_detail;
     return os.str();
   }
-  if (schedulable) {
+  if (outcome == Outcome::Schedulable) {
     os << "SCHEDULABLE — no deadline violation is reachable (" << states
        << " states, " << transitions << " transitions explored)";
-  } else if (exhaustive) {
+  } else if (outcome == Outcome::NotSchedulable) {
     os << "NOT SCHEDULABLE — deadline violation found (" << states
        << " states explored)";
+    if (trace_dropped)
+      os << "\n  (counterexample trace dropped under memory pressure; rerun "
+            "with a larger --memory-budget-mb for the failing timeline)";
     if (scenario) {
       os << '\n' << scenario->render();
     }
   } else {
-    os << "INCONCLUSIVE — state bound reached after " << states
-       << " states; raise ExploreOptions::max_states";
+    // Partial result with meaning: the explored prefix is deadlock-free.
+    os << "INCONCLUSIVE (" << util::to_string(stop_reason)
+       << ") — no deadline violation reachable within BFS depth " << depth
+       << " / " << states << " states (partial result, not a verdict)";
+    if (trace_dropped) os << "\n  trace recording was dropped en route";
   }
   os << "\nexploration: " << std::fixed << std::setprecision(2) << explore_ms
      << " ms, peak frontier " << peak_frontier << ", fan memo "
@@ -235,6 +251,8 @@ AnalysisResult analyze_instance(const aadl::InstanceModel& instance,
       result.exhaustive = true;
       result.schedulable =
           report.verdict == lint::StaticVerdict::Schedulable;
+      result.outcome = result.schedulable ? Outcome::Schedulable
+                                          : Outcome::NotSchedulable;
       result.decided_by = report.decided_by;
       result.diagnostics = diags.render_all();
       return result;
@@ -263,13 +281,27 @@ AnalysisResult analyze_instance(const aadl::InstanceModel& instance,
   result.transitions = er.transitions;
   result.exhaustive = er.complete;
   result.schedulable = er.schedulable();
-  result.ok = er.complete;
+  // A partial run is still a result: ok means "the engine answered", and
+  // the answer may be Inconclusive(stop_reason). Only front-end/translation
+  // failures (earlier returns) leave ok == false. A found deadlock is
+  // conclusive even when the budget cut the run short.
+  result.ok = true;
+  result.outcome = er.deadlock_found ? Outcome::NotSchedulable
+                   : er.complete     ? Outcome::Schedulable
+                                     : Outcome::Inconclusive;
+  result.stop_reason = er.stop;
+  result.trace_dropped = er.trace_dropped;
+  result.depth = er.depth;
   result.explore_ms = er.wall_ms;
   result.peak_frontier = er.peak_frontier;
   result.fans_computed = er.sem_stats.computed;
   result.memo_hits = er.sem_stats.memo_hits;
   result.worker_states = er.worker_states;
-  if (er.deadlock_found) result.scenario = lift_back(ctx, *tr, er);
+  // No timeline without a trace: when recording was dropped under memory
+  // pressure, lifting would produce an empty "0 quanta" scenario that reads
+  // like a real counterexample.
+  if (er.deadlock_found && !er.trace.empty())
+    result.scenario = lift_back(ctx, *tr, er);
   return result;
 }
 

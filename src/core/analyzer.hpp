@@ -65,11 +65,35 @@ struct FailingScenario {
   std::string render() const;
 };
 
+/// What an analysis run means. Distinguishing Inconclusive from the
+/// conclusive verdicts is a correctness matter, not cosmetics: a run
+/// truncated by max_states / a deadline / memory pressure / cancellation
+/// has *not* proved schedulability, and must never be read as such
+/// (DESIGN.md §10). A found deadlock, by contrast, is conclusive even on a
+/// truncated run.
+enum class Outcome : std::uint8_t {
+  Error,           // front end / translation / lint gate failed; no verdict
+  Schedulable,     // full state space explored, no deadlock
+  NotSchedulable,  // a deadlock (deadline violation) was reached
+  Inconclusive,    // exploration stopped early — see stop_reason
+};
+
+std::string_view to_string(Outcome o);
+
 struct AnalysisResult {
-  bool ok = false;            // analysis ran to a verdict
+  bool ok = false;            // analysis ran and produced a result (possibly
+                              // partial); false only for Outcome::Error
   bool schedulable = false;   // deadlock-free <=> schedulable (§5)
   bool exhaustive = false;    // full state space explored (or stopped at a
                               // deadlock, which is conclusive)
+  Outcome outcome = Outcome::Error;
+  /// Why exploration stopped early (None unless outcome == Inconclusive).
+  util::StopReason stop_reason = util::StopReason::None;
+  /// Trace recording was dropped to relieve memory pressure; the verdict
+  /// stands but no counterexample timeline is available.
+  bool trace_dropped = false;
+  /// Deepest fully-expanded BFS level ("no deadlock within depth d").
+  std::uint64_t depth = 0;
   std::uint64_t states = 0;
   std::uint64_t transitions = 0;
   std::optional<FailingScenario> scenario;

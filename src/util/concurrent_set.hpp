@@ -61,6 +61,17 @@ class ConcurrentSet {
     }
   }
 
+  /// Approximate footprint of the slot arrays, for the resource-governance
+  /// memory estimate (util/budget.hpp). Takes each shard lock briefly.
+  std::size_t approx_bytes() const {
+    std::size_t n = 0;
+    for (std::size_t s = 0; s <= shard_mask_; ++s) {
+      std::lock_guard lk(shards_[s].mu);
+      n += shards_[s].slots.size() * sizeof(std::uint64_t);
+    }
+    return n + (shard_mask_ + 1) * sizeof(Shard);
+  }
+
   /// Exact when no insert is concurrently in flight.
   std::size_t size() const {
     std::size_t n = 0;

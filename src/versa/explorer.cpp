@@ -68,18 +68,54 @@ ExploreResult explore(acsr::Semantics& sem, TermId initial,
   result.states = 1;
   result.peak_frontier = 1;
   std::uint64_t expanded = 0;
+  bool recording = opts.record_trace;
+
+  // Rolling level boundary so the partial verdict can say "no deadlock
+  // within BFS depth d" (O(1) space: count nodes left in the current
+  // level).
+  std::uint64_t level_remaining = 1;
+  std::uint64_t next_level = 0;
+
+  util::BudgetTracker tracker(opts.budget, [&]() -> std::uint64_t {
+    // Hash-cons tables + visited/parent maps + frontier. Per-entry
+    // constants approximate node + bucket overhead of unordered_map.
+    return sem.context().approx_bytes() + seen.size() * 48 +
+           parent.size() * 64 + frontier.size() * sizeof(TermId);
+  });
 
   const auto finish = [&] {
     result.worker_states = {expanded};
     result.sem_stats.computed = sem.stats().computed - stats_before.computed;
     result.sem_stats.memo_hits =
         sem.stats().memo_hits - stats_before.memo_hits;
+    result.approx_memory_bytes = tracker.last_memory_bytes();
     result.wall_ms = ms_since(t0);
   };
 
   while (!frontier.empty()) {
+    const util::BudgetStatus budget = tracker.check(result.states);
+    if (budget.signal == util::BudgetSignal::MemoryPressure && recording) {
+      // Graceful degradation: give the run a second life by releasing the
+      // parent links (usually the largest non-essential structure) before
+      // giving up on the verdict itself.
+      parent = {};
+      recording = false;
+      result.trace_dropped = true;
+      tracker.note_degraded();
+    } else if (budget.signal != util::BudgetSignal::Proceed) {
+      result.stop = budget.reason;
+      finish();
+      return result;  // complete stays false: partial result
+    }
+
+    if (level_remaining == 0) {
+      ++result.depth;
+      level_remaining = next_level;
+      next_level = 0;
+    }
     const TermId state = frontier.front();
     frontier.pop_front();
+    --level_remaining;
 
     const std::vector<Transition> fan = sem.prioritized(state);
     ++expanded;
@@ -95,11 +131,13 @@ ExploreResult explore(acsr::Semantics& sem, TermId initial,
     for (const Transition& tr : fan) {
       ++result.transitions;
       if (seen.emplace(tr.target, true).second) {
-        if (opts.record_trace)
+        if (recording)
           parent.emplace(tr.target, std::make_pair(state, tr.label));
         ++result.states;
+        ++next_level;
         if (result.states >= opts.max_states) {
           // Bailed out: leave `complete` false.
+          result.stop = util::StopReason::MaxStates;
           finish();
           return result;
         }
@@ -113,8 +151,7 @@ ExploreResult explore(acsr::Semantics& sem, TermId initial,
   result.complete =
       frontier.empty() || (result.deadlock_found && opts.stop_at_first_deadlock);
 
-  if (result.deadlock_found && opts.record_trace)
-    reconstruct_trace(result, parent);
+  if (result.deadlock_found && recording) reconstruct_trace(result, parent);
   finish();
   return result;
 }
@@ -142,6 +179,38 @@ ExploreResult explore_parallel(acsr::Context& ctx, TermId initial,
   result.states = 1;
 
   std::unordered_map<TermId, std::pair<TermId, Label>> parent;
+  bool recording = opts.record_trace;
+
+  // Budget governance. The coordinator runs the full tracker (clock +
+  // memory probe) at level boundaries, where workers are quiescent; inside
+  // a level each worker runs a cheap per-block probe — cancel flag,
+  // deadline time point, fault injector — and the first worker to observe
+  // exhaustion publishes the StopReason here, draining the whole pool
+  // within one block per worker.
+  util::BudgetTracker tracker(opts.budget, [&]() -> std::uint64_t {
+    return ctx.approx_bytes() + visited.approx_bytes() + parent.size() * 64;
+  });
+  std::atomic<std::uint8_t> worker_stop{
+      static_cast<std::uint8_t>(util::StopReason::None)};
+  const auto block_budget_ok = [&]() -> bool {
+    if (worker_stop.load(std::memory_order_relaxed) !=
+        static_cast<std::uint8_t>(util::StopReason::None))
+      return false;
+    util::StopReason r = util::StopReason::None;
+    if (opts.budget.cancel && opts.budget.cancel->cancelled())
+      r = util::StopReason::Cancelled;
+    else if (tracker.has_deadline() && Clock::now() >= tracker.deadline())
+      r = util::StopReason::Deadline;
+    else
+      r = util::FaultInjector::global().trip_budget_check();
+    if (r == util::StopReason::None) return true;
+    std::uint8_t expected =
+        static_cast<std::uint8_t>(util::StopReason::None);
+    worker_stop.compare_exchange_strong(expected,
+                                        static_cast<std::uint8_t>(r),
+                                        std::memory_order_relaxed);
+    return false;
+  };
 
   struct Discovery {
     TermId target;
@@ -167,7 +236,6 @@ ExploreResult explore_parallel(acsr::Context& ctx, TermId initial,
 
   const std::size_t block = std::max<std::size_t>(1, popts.block);
   std::vector<TermId> level{initial};
-  bool hit_max = false;
   bool exhausted = false;
 
   const auto process_range = [&](acsr::Semantics& sem, WorkerOut& out,
@@ -199,11 +267,15 @@ ExploreResult explore_parallel(acsr::Context& ctx, TermId initial,
     }
 
     if (!pool || level.size() < popts.serial_frontier_threshold) {
-      process_range(*sems[0], outs[0], level, 0, level.size());
+      for (std::size_t b = 0; b < level.size(); b += block) {
+        if (!block_budget_ok()) break;
+        process_range(*sems[0], outs[0], level, b,
+                      std::min(b + block, level.size()));
+      }
     } else {
       std::atomic<std::size_t> cursor{0};
       pool->parallel_for(workers, [&](std::size_t w) {
-        while (true) {
+        while (block_budget_ok()) {
           const std::size_t b =
               cursor.fetch_add(block, std::memory_order_relaxed);
           if (b >= level.size()) break;
@@ -231,31 +303,59 @@ ExploreResult explore_parallel(acsr::Context& ctx, TermId initial,
     std::vector<TermId> next;
     for (WorkerOut& out : outs) {
       for (const Discovery& d : out.discovered) {
-        if (opts.record_trace)
+        if (recording)
           parent.emplace(d.target, std::make_pair(d.source, d.label));
         ++result.states;
         next.push_back(d.target);
       }
     }
 
+    // A worker observed budget exhaustion mid-level: the partial level is
+    // already merged (states/transitions/deadlocks found so far count);
+    // publish the reason and stop.
+    {
+      const auto ws = static_cast<util::StopReason>(
+          worker_stop.load(std::memory_order_relaxed));
+      if (ws != util::StopReason::None) {
+        result.stop = ws;
+        break;
+      }
+    }
+
     if (result.deadlock_found && opts.stop_at_first_deadlock) break;
     if (result.states >= opts.max_states) {
-      hit_max = true;
+      result.stop = util::StopReason::MaxStates;
       break;
     }
     if (next.empty()) {
       exhausted = true;
       break;
     }
+
+    // Level boundary: full budget check (clock + memory probe) while every
+    // worker is quiescent. Memory pressure degrades before it kills — the
+    // parent links are released and the run continues trace-less.
+    const util::BudgetStatus budget = tracker.check_now(result.states);
+    if (budget.signal == util::BudgetSignal::MemoryPressure && recording) {
+      parent = {};
+      recording = false;
+      result.trace_dropped = true;
+      tracker.note_degraded();
+    } else if (budget.signal != util::BudgetSignal::Proceed) {
+      result.stop = budget.reason;
+      break;
+    }
+
+    ++result.depth;
     level = std::move(next);
   }
 
   result.complete =
-      !hit_max &&
+      result.stop == util::StopReason::None &&
       (exhausted || (result.deadlock_found && opts.stop_at_first_deadlock));
 
-  if (result.deadlock_found && opts.record_trace)
-    reconstruct_trace(result, parent);
+  if (result.deadlock_found && recording) reconstruct_trace(result, parent);
+  result.approx_memory_bytes = tracker.last_memory_bytes();
 
   result.worker_states.reserve(workers);
   for (const WorkerOut& out : outs)

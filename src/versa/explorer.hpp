@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "acsr/semantics.hpp"
+#include "util/budget.hpp"
 
 namespace aadlsched::versa {
 
@@ -33,6 +34,15 @@ struct ExploreOptions {
   bool record_trace = true;
   /// Stop at the first deadlock instead of exploring the full space.
   bool stop_at_first_deadlock = true;
+  /// Resource envelope: wall-clock deadline, extra state cap, approximate
+  /// memory ceiling, cooperative cancellation. Default = unlimited. The
+  /// serial engine checks per expansion; the parallel engine checks at
+  /// level boundaries plus cheap per-block cancellation/deadline probes, so
+  /// a huge level cannot outlive the budget by more than one block per
+  /// worker. Under memory pressure the engine degrades first — trace
+  /// recording is dropped (ExploreResult::trace_dropped) — and only stops
+  /// when pressure persists. See DESIGN.md §10.
+  util::RunBudget budget;
 };
 
 struct ParallelExploreOptions {
@@ -65,6 +75,20 @@ struct ExploreResult {
   /// Shortest path (BFS) from the initial state to the first deadlock;
   /// empty when schedulable or when record_trace was off.
   std::vector<Step> trace;
+
+  // --- resource governance ---------------------------------------------
+  /// Why the run ended early; None on a complete (or conclusively
+  /// deadlocked) exploration. When != None the partial result still
+  /// carries meaning: no deadlock is reachable within `depth` BFS levels /
+  /// `states` states.
+  util::StopReason stop = util::StopReason::None;
+  /// Trace recording was dropped mid-run to relieve memory pressure; the
+  /// verdict is unaffected but no counterexample trace is available.
+  bool trace_dropped = false;
+  /// Deepest BFS level fully expanded (0 = only the initial state).
+  std::uint64_t depth = 0;
+  /// Last sampled footprint estimate (0 if no memory ceiling was probed).
+  std::uint64_t approx_memory_bytes = 0;
 
   // --- observability ---------------------------------------------------
   double wall_ms = 0;                 // exploration wall time

@@ -1,0 +1,475 @@
+// Resource governance: budgets, cooperative cancellation, graceful
+// degradation, sweep isolation — and deterministic fault injection proving
+// every StopReason bail-out path actually fires (DESIGN.md §10).
+//
+// The tests that arm util::FaultInjector::global() do so through an RAII
+// guard: the explorers consult the global injector, so leaking an armed
+// site would poison unrelated tests in this binary.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "aadl/parser.hpp"
+#include "core/analyzer.hpp"
+#include "core/taskset_aadl.hpp"
+#include "sched/workload.hpp"
+#include "translate/translator.hpp"
+#include "util/budget.hpp"
+#include "versa/explorer.hpp"
+#include "versa/sweep.hpp"
+
+using namespace aadlsched;
+using util::BudgetSignal;
+using util::BudgetStatus;
+using util::BudgetTracker;
+using util::CancelToken;
+using util::FaultInjector;
+using util::RunBudget;
+using util::StopReason;
+using versa::ExploreOptions;
+using versa::ExploreResult;
+using versa::ParallelExploreOptions;
+
+namespace {
+
+/// Disarms the process-global injector on scope exit, no matter how the
+/// test ends.
+struct InjectorGuard {
+  InjectorGuard() { FaultInjector::global().disarm(); }
+  ~InjectorGuard() { FaultInjector::global().disarm(); }
+};
+
+std::string read_model(const std::string& name) {
+  std::ifstream in(std::string(AADLSCHED_MODELS_DIR) + "/" + name);
+  EXPECT_TRUE(in) << name;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+acsr::TermId build_initial(acsr::Context& ctx, const std::string& src,
+                           std::string_view root, std::int64_t quantum_ns) {
+  util::DiagnosticEngine diags("test.aadl");
+  aadl::Model model;
+  if (!aadl::parse_aadl(model, src, diags)) {
+    ADD_FAILURE() << diags.render_all();
+    return acsr::kNil;
+  }
+  auto inst = aadl::instantiate(model, root, diags);
+  if (!inst || diags.has_errors()) {
+    ADD_FAILURE() << diags.render_all();
+    return acsr::kNil;
+  }
+  translate::TranslateOptions topts;
+  topts.quantum_ns = quantum_ns;
+  auto tr = translate::translate(ctx, *inst, diags, topts);
+  if (!tr) {
+    ADD_FAILURE() << diags.render_all();
+    return acsr::kNil;
+  }
+  return tr->initial;
+}
+
+ExploreResult explore_storm(const ExploreOptions& opts) {
+  acsr::Context ctx;
+  acsr::Semantics sem(ctx);
+  return versa::explore(
+      sem, build_initial(ctx, read_model("storm.aadl"), "Storm.impl",
+                         1'000'000),
+      opts);
+}
+
+/// A small overloaded task set: exploration finds a deadline violation
+/// (deadlock) quickly, so trace-recording behaviour is observable.
+std::string overloaded_src() {
+  sched::WorkloadSpec spec;
+  spec.task_count = 3;
+  spec.total_utilization = 1.15;
+  spec.periods = {3, 4, 5, 6};
+  sched::TaskSet ts = sched::generate_workload(spec, 11);
+  sched::assign_rate_monotonic(ts);
+  return core::taskset_to_aadl(ts, sched::SchedulingPolicy::FixedPriority);
+}
+
+// ---------------------------------------------------------------------------
+// Unit level: CancelToken, RunBudget, FaultInjector, BudgetTracker.
+
+TEST(Budget, StopReasonNames) {
+  EXPECT_EQ(util::to_string(StopReason::None), "none");
+  EXPECT_EQ(util::to_string(StopReason::MaxStates), "max-states");
+  EXPECT_EQ(util::to_string(StopReason::Deadline), "deadline");
+  EXPECT_EQ(util::to_string(StopReason::MemoryBudget), "memory-budget");
+  EXPECT_EQ(util::to_string(StopReason::Cancelled), "cancelled");
+  EXPECT_EQ(util::to_string(StopReason::Fault), "fault");
+}
+
+TEST(Budget, CancelTokenAndUnlimited) {
+  CancelToken tok;
+  EXPECT_FALSE(tok.cancelled());
+  tok.cancel();
+  EXPECT_TRUE(tok.cancelled());
+  tok.reset();
+  EXPECT_FALSE(tok.cancelled());
+
+  EXPECT_TRUE(RunBudget{}.unlimited());
+  RunBudget b;
+  b.deadline_ms = 1;
+  EXPECT_FALSE(b.unlimited());
+  b = RunBudget{};
+  b.cancel = &tok;
+  EXPECT_FALSE(b.unlimited());
+}
+
+TEST(Budget, FaultInjectorSpecParsing) {
+  FaultInjector fi;
+  EXPECT_TRUE(fi.arm("budget-check:3:deadline"));
+  EXPECT_TRUE(fi.armed());
+  EXPECT_EQ(fi.trip_budget_check(), StopReason::None);  // 1st
+  EXPECT_EQ(fi.trip_budget_check(), StopReason::None);  // 2nd
+  EXPECT_EQ(fi.trip_budget_check(), StopReason::Deadline);  // 3rd trips
+  EXPECT_EQ(fi.trip_budget_check(), StopReason::None);  // count=1: one-shot
+
+  EXPECT_TRUE(fi.arm("memory-probe:2:fault:3"));
+  EXPECT_FALSE(fi.trip_memory_probe());  // 1st
+  EXPECT_TRUE(fi.trip_memory_probe());   // 2nd..4th trip
+  EXPECT_TRUE(fi.trip_memory_probe());
+  EXPECT_TRUE(fi.trip_memory_probe());
+  EXPECT_FALSE(fi.trip_memory_probe());  // window closed
+
+  EXPECT_TRUE(fi.arm("job:1"));
+  EXPECT_THROW(fi.maybe_throw_job(), util::InjectedFault);
+  EXPECT_NO_THROW(fi.maybe_throw_job());
+
+  EXPECT_TRUE(fi.arm(""));  // empty spec disarms
+  EXPECT_FALSE(fi.armed());
+
+  EXPECT_FALSE(fi.arm("bogus-site:1"));
+  EXPECT_FALSE(fi.arm("budget-check"));          // missing nth
+  EXPECT_FALSE(fi.arm("budget-check:0"));        // nth must be >= 1
+  EXPECT_FALSE(fi.arm("budget-check:x"));        // garbage nth
+  EXPECT_FALSE(fi.arm("budget-check:1:nope"));   // unknown reason
+  EXPECT_FALSE(fi.arm("budget-check:1:fault:0"));  // count must be >= 1
+  EXPECT_FALSE(fi.armed());  // malformed spec leaves it disarmed
+}
+
+TEST(Budget, TrackerMaxStatesAndCancel) {
+  CancelToken tok;
+  RunBudget b;
+  b.max_states = 10;
+  b.cancel = &tok;
+  BudgetTracker tracker(b, {}, nullptr);
+  EXPECT_EQ(tracker.check(9).signal, BudgetSignal::Proceed);
+  const BudgetStatus capped = tracker.check(10);
+  EXPECT_EQ(capped.signal, BudgetSignal::Stop);
+  EXPECT_EQ(capped.reason, StopReason::MaxStates);
+
+  tok.cancel();
+  const BudgetStatus cancelled = tracker.check(1);
+  EXPECT_EQ(cancelled.signal, BudgetSignal::Stop);
+  EXPECT_EQ(cancelled.reason, StopReason::Cancelled);
+}
+
+TEST(Budget, TrackerDeadline) {
+  RunBudget b;
+  b.deadline_ms = 0.5;
+  BudgetTracker tracker(b, {}, nullptr);
+  EXPECT_TRUE(tracker.has_deadline());
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const BudgetStatus st = tracker.check_now(1);
+  EXPECT_EQ(st.signal, BudgetSignal::Stop);
+  EXPECT_EQ(st.reason, StopReason::Deadline);
+  EXPECT_GT(tracker.elapsed_ms(), 0.0);
+}
+
+TEST(Budget, TrackerMemoryDegradesThenStops) {
+  RunBudget b;
+  b.memory_bytes = 100;
+  BudgetTracker tracker(b, [] { return std::uint64_t{200}; }, nullptr);
+  const BudgetStatus first = tracker.check_now(1);
+  EXPECT_EQ(first.signal, BudgetSignal::MemoryPressure);
+  EXPECT_EQ(first.reason, StopReason::MemoryBudget);
+  EXPECT_EQ(tracker.last_memory_bytes(), 200u);
+
+  // The engine degrades (drops trace recording)...
+  tracker.note_degraded();
+  EXPECT_TRUE(tracker.degraded());
+  // ...and sustained pressure afterwards is a hard stop.
+  const BudgetStatus second = tracker.check_now(2);
+  EXPECT_EQ(second.signal, BudgetSignal::Stop);
+  EXPECT_EQ(second.reason, StopReason::MemoryBudget);
+}
+
+// ---------------------------------------------------------------------------
+// Serial explorer: every StopReason path.
+
+TEST(BudgetExplore, SerialMaxStates) {
+  ExploreOptions opts;
+  opts.budget.max_states = 500;
+  const ExploreResult r = explore_storm(opts);
+  EXPECT_EQ(r.stop, StopReason::MaxStates);
+  EXPECT_FALSE(r.complete);
+  EXPECT_FALSE(r.deadlock_found);
+  // The check runs per expansion, so the cap can overshoot by at most one
+  // state's fan-out.
+  EXPECT_GE(r.states, 500u);
+  EXPECT_LT(r.states, 600u);
+  EXPECT_GT(r.depth, 0u);  // the partial verdict names a BFS depth
+}
+
+TEST(BudgetExplore, SerialDeadline) {
+  ExploreOptions opts;
+  opts.budget.deadline_ms = 25;
+  const auto t0 = std::chrono::steady_clock::now();
+  const ExploreResult r = explore_storm(opts);
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_EQ(r.stop, StopReason::Deadline);
+  EXPECT_FALSE(r.complete);
+  EXPECT_GT(r.states, 0u);
+  // Checks are strided (kStride expansions between clock polls) so allow
+  // generous slack, but the run must not outlive the deadline by orders of
+  // magnitude — storm.aadl alone takes seconds to explore.
+  EXPECT_LT(wall_ms, 2'000.0);
+}
+
+TEST(BudgetExplore, SerialCancelled) {
+  CancelToken tok;
+  tok.cancel();  // cancelled before the run starts: promptest possible stop
+  ExploreOptions opts;
+  opts.budget.cancel = &tok;
+  const ExploreResult r = explore_storm(opts);
+  EXPECT_EQ(r.stop, StopReason::Cancelled);
+  EXPECT_FALSE(r.complete);
+  EXPECT_EQ(r.states, 1u);  // only the initial state was admitted
+}
+
+TEST(BudgetExplore, SerialInjectedFault) {
+  InjectorGuard guard;
+  FaultInjector::global().arm(FaultInjector::Site::BudgetCheck, 1);
+  const ExploreResult r = explore_storm({});
+  EXPECT_EQ(r.stop, StopReason::Fault);
+  EXPECT_FALSE(r.complete);
+}
+
+TEST(BudgetExplore, SerialMemoryPressureDegradesAndRunCompletes) {
+  // Baseline: the overloaded set deadlocks with a recorded counterexample.
+  const std::string src = overloaded_src();
+  acsr::Context c1;
+  acsr::Semantics s1(c1);
+  const ExploreResult base =
+      versa::explore(s1, build_initial(c1, src, "Root.impl", 1'000'000), {});
+  ASSERT_TRUE(base.deadlock_found);
+  ASSERT_FALSE(base.trace.empty());
+
+  // One transient memory-pressure signal: the engine must drop the trace,
+  // keep going, and still find the same deadlock — degradation, not death.
+  InjectorGuard guard;
+  FaultInjector::global().arm(FaultInjector::Site::MemoryProbe, 1);
+  acsr::Context c2;
+  acsr::Semantics s2(c2);
+  const ExploreResult r =
+      versa::explore(s2, build_initial(c2, src, "Root.impl", 1'000'000), {});
+  EXPECT_TRUE(r.trace_dropped);
+  EXPECT_TRUE(r.trace.empty());
+  EXPECT_TRUE(r.deadlock_found);
+  EXPECT_TRUE(r.complete);  // a found deadlock is conclusive
+  EXPECT_EQ(r.stop, StopReason::None);
+  EXPECT_EQ(r.states, base.states);
+  EXPECT_EQ(r.deadlock_count, base.deadlock_count);
+}
+
+TEST(BudgetExplore, SerialPersistentMemoryPressureStops) {
+  InjectorGuard guard;
+  // Pressure that never lets up: degrade first, then give up for real.
+  ASSERT_TRUE(FaultInjector::global().arm("memory-probe:1:memory:1000000"));
+  const ExploreResult r = explore_storm({});
+  EXPECT_EQ(r.stop, StopReason::MemoryBudget);
+  EXPECT_TRUE(r.trace_dropped);  // it did try degrading before stopping
+  EXPECT_FALSE(r.complete);
+  EXPECT_GT(r.states, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel explorer: budgets observed mid-level, equivalence preserved.
+
+ExploreResult explore_storm_parallel(const ExploreOptions& opts,
+                                     std::size_t workers) {
+  acsr::Context ctx;
+  ParallelExploreOptions popts;
+  popts.workers = workers;
+  popts.serial_frontier_threshold = 0;  // pooled blocks from level one
+  popts.block = 8;
+  return versa::explore_parallel(
+      ctx, build_initial(ctx, read_model("storm.aadl"), "Storm.impl",
+                         1'000'000),
+      opts, popts);
+}
+
+TEST(BudgetExplore, ParallelInjectedDeadlineMidLevel) {
+  InjectorGuard guard;
+  // Workers probe the injector per block; the 40th probe reports Deadline,
+  // landing mid-level (not at a barrier) with the pooled path forced on.
+  FaultInjector::global().arm(FaultInjector::Site::BudgetCheck, 40,
+                              StopReason::Deadline);
+  const ExploreResult r = explore_storm_parallel({}, 2);
+  EXPECT_EQ(r.stop, StopReason::Deadline);
+  EXPECT_FALSE(r.complete);
+  EXPECT_GT(r.states, 0u);
+}
+
+TEST(BudgetExplore, ParallelCancelled) {
+  CancelToken tok;
+  tok.cancel();
+  ExploreOptions opts;
+  opts.budget.cancel = &tok;
+  const ExploreResult r = explore_storm_parallel(opts, 2);
+  EXPECT_EQ(r.stop, StopReason::Cancelled);
+  EXPECT_FALSE(r.complete);
+}
+
+TEST(BudgetExplore, ParallelMaxStatesBudget) {
+  ExploreOptions opts;
+  opts.budget.max_states = 300;
+  const ExploreResult r = explore_storm_parallel(opts, 2);
+  EXPECT_EQ(r.stop, StopReason::MaxStates);
+  EXPECT_FALSE(r.complete);
+  EXPECT_GE(r.states, 300u);  // level granularity may overshoot the cap
+}
+
+TEST(BudgetExplore, GenerousBudgetsDoNotPerturbEquivalence) {
+  // A budget nobody hits must leave serial/parallel equivalence intact —
+  // governance is observation, not interference.
+  const std::string src = read_model("cruise_control.aadl");
+  ExploreOptions opts;
+  opts.stop_at_first_deadlock = false;
+  opts.budget.deadline_ms = 600'000;
+  opts.budget.max_states = 5'000'000;
+  opts.budget.memory_bytes = 8ull << 30;
+
+  acsr::Context c1;
+  acsr::Semantics s1(c1);
+  const ExploreResult serial = versa::explore(
+      s1, build_initial(c1, src, "CruiseControlSystem.impl", 10'000'000),
+      opts);
+  acsr::Context c2;
+  ParallelExploreOptions popts;
+  popts.workers = 2;
+  popts.serial_frontier_threshold = 16;
+  const ExploreResult par = versa::explore_parallel(
+      c2, build_initial(c2, src, "CruiseControlSystem.impl", 10'000'000),
+      opts, popts);
+
+  EXPECT_EQ(serial.stop, StopReason::None);
+  EXPECT_EQ(par.stop, StopReason::None);
+  EXPECT_TRUE(serial.complete);
+  EXPECT_TRUE(par.complete);
+  EXPECT_EQ(serial.states, par.states);
+  EXPECT_EQ(serial.transitions, par.transitions);
+  EXPECT_EQ(serial.deadlock_found, par.deadlock_found);
+  EXPECT_GT(serial.approx_memory_bytes, 0u);  // ceiling set => probed
+}
+
+// ---------------------------------------------------------------------------
+// Sweep isolation: one poisoned job must not kill the pool.
+
+TEST(BudgetSweep, ThrowingJobBecomesFailureRecord) {
+  std::atomic<int> ran{0};
+  const versa::SweepReport report = versa::parallel_sweep(
+      6,
+      [&](std::size_t i) {
+        if (i == 3) throw std::runtime_error("boom in job 3");
+        ran.fetch_add(1);
+      },
+      2);
+  EXPECT_EQ(report.completed, 5u);
+  EXPECT_EQ(ran.load(), 5);
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_EQ(report.failures[0].job, 3u);
+  EXPECT_NE(report.failures[0].error.find("boom in job 3"), std::string::npos);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(BudgetSweep, InjectedJobFaultIsIsolated) {
+  InjectorGuard guard;
+  ASSERT_TRUE(FaultInjector::global().arm("job:2"));
+  std::atomic<int> ran{0};
+  // One worker => deterministic entry order: the second job trips.
+  const versa::SweepReport report = versa::parallel_sweep(
+      4, [&](std::size_t) { ran.fetch_add(1); }, 1);
+  EXPECT_EQ(report.completed, 3u);
+  EXPECT_EQ(ran.load(), 3);
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_EQ(report.failures[0].job, 1u);
+  EXPECT_NE(report.failures[0].error.find("injected fault"),
+            std::string::npos);
+}
+
+TEST(BudgetSweep, NonThrowingSweepIsOk) {
+  std::atomic<int> ran{0};
+  const versa::SweepReport report =
+      versa::parallel_sweep(5, [&](std::size_t) { ran.fetch_add(1); }, 2);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.completed, 5u);
+  EXPECT_EQ(ran.load(), 5);
+}
+
+// ---------------------------------------------------------------------------
+// Analyzer integration: truncated runs surface as Inconclusive, never as a
+// schedulability verdict.
+
+TEST(BudgetAnalyzer, CappedRunIsInconclusiveNotSchedulable) {
+  core::AnalyzerOptions opts;
+  opts.translation.quantum_ns = 1'000'000;
+  opts.exploration.budget.max_states = 200;
+  const core::AnalysisResult r =
+      core::analyze_source(read_model("storm.aadl"), "Storm.impl", opts);
+  EXPECT_TRUE(r.ok);  // the run produced a (partial) result
+  EXPECT_EQ(r.outcome, core::Outcome::Inconclusive);
+  EXPECT_EQ(r.stop_reason, StopReason::MaxStates);
+  EXPECT_FALSE(r.schedulable);
+  EXPECT_FALSE(r.exhaustive);
+  EXPECT_GT(r.depth, 0u);
+  const std::string summary = r.summary();
+  EXPECT_NE(summary.find("INCONCLUSIVE"), std::string::npos) << summary;
+  EXPECT_NE(summary.find("max-states"), std::string::npos) << summary;
+  EXPECT_NE(summary.find("not a verdict"), std::string::npos) << summary;
+}
+
+TEST(BudgetAnalyzer, DeadlockOnTruncatedRunStaysConclusive) {
+  // stop_at_first_deadlock + a found deadlock: conclusive NotSchedulable
+  // even though the space was not exhausted.
+  core::AnalyzerOptions opts;
+  opts.translation.quantum_ns = 1'000'000;
+  const core::AnalysisResult r =
+      core::analyze_source(overloaded_src(), "Root.impl", opts);
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.outcome, core::Outcome::NotSchedulable);
+  EXPECT_FALSE(r.schedulable);
+  EXPECT_NE(r.summary().find("NOT SCHEDULABLE"), std::string::npos)
+      << r.summary();
+}
+
+TEST(BudgetAnalyzer, TraceDroppedIsReportedInSummary) {
+  InjectorGuard guard;
+  FaultInjector::global().arm(FaultInjector::Site::MemoryProbe, 1);
+  core::AnalyzerOptions opts;
+  opts.translation.quantum_ns = 1'000'000;
+  const core::AnalysisResult r =
+      core::analyze_source(overloaded_src(), "Root.impl", opts);
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.outcome, core::Outcome::NotSchedulable);
+  EXPECT_TRUE(r.trace_dropped);
+  EXPECT_FALSE(r.scenario.has_value());  // no timeline without a trace
+  EXPECT_NE(r.summary().find("trace dropped"), std::string::npos)
+      << r.summary();
+}
+
+}  // namespace

@@ -1,6 +1,7 @@
 // aadlsched — command-line front end, the role of the paper's OSATE plugin.
 //
 //   aadlsched <model.aadl>... <Root.impl> [options]
+//   aadlsched --batch <list-file> [options]
 //
 //   --quantum <ms>         scheduling quantum (default 1 ms)
 //   --acsr                 dump the translated ACSR module and exit
@@ -13,12 +14,36 @@
 //   --max-states <n>       exploration bound (default 5,000,000)
 //   --workers <n>          parallel exploration workers (default 1 =
 //                          serial; 0 = hardware concurrency)
+//   --deadline-ms <n>      wall-clock budget per analysis; an expired run
+//                          reports INCONCLUSIVE (deadline) with partial
+//                          stats instead of hanging
+//   --memory-budget-mb <n> approximate memory ceiling per analysis; the
+//                          engine degrades (drops trace recording) before
+//                          giving up
+//   --batch <file>         analyze every model listed in <file> (one
+//                          "<model.aadl>... <Root.impl>" per line, '#'
+//                          comments); each entry is isolated — a crashing
+//                          or unparsable model becomes an error record in
+//                          the JSON report, not a dead run
+//   --batch-workers <n>    concurrent batch entries (default 1)
+//   --keep-going           batch exit-code policy: model errors are
+//                          recorded but do not poison the exit code
+//   --report <file>        write the batch JSON report here (default
+//                          stdout)
 //   --lint                 run the static checks only (aadllint) and exit;
 //                          0 = clean, 1 = error-severity findings
 //   --lint-format <f>      lint report format: text (default) or json
 //   --no-lint              skip the lint pre-pass before exploration
 //
-// Exit code: 0 schedulable, 1 not schedulable, 2 usage/front-end error.
+// SIGINT flips the cooperative CancelToken: the run stops at the next
+// budget check and still prints the partial summary (exit 3). A second
+// SIGINT hard-exits.
+//
+// Exit code: 0 schedulable, 1 not schedulable, 2 usage/front-end error,
+// 3 inconclusive (budget/cancellation truncated the exploration).
+#include <atomic>
+#include <csignal>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -33,16 +58,23 @@
 #include "lint/lint.hpp"
 #include "sched/analysis.hpp"
 #include "sched/simulator.hpp"
+#include "util/budget.hpp"
 #include "util/string_utils.hpp"
+#include "versa/sweep.hpp"
 
 namespace {
+
+using namespace aadlsched;
 
 int usage() {
   std::cerr <<
       "usage: aadlsched <model.aadl>... <Root.impl> [--quantum ms] [--acsr]\n"
       "                 [--classical] [--latency src sink ms]\n"
       "                 [--late-completion] [--max-states n] [--workers n]\n"
-      "                 [--lint] [--lint-format text|json] [--no-lint]\n";
+      "                 [--deadline-ms n] [--memory-budget-mb n]\n"
+      "                 [--lint] [--lint-format text|json] [--no-lint]\n"
+      "       aadlsched --batch <list> [--batch-workers n] [--keep-going]\n"
+      "                 [--report file] [common options]\n";
   return 2;
 }
 
@@ -69,6 +101,191 @@ std::optional<std::string> read_file(const std::string& path) {
   return os.str();
 }
 
+// --- cooperative cancellation (SIGINT) ---------------------------------
+
+util::CancelToken g_cancel;
+std::atomic<int> g_sigint_count{0};
+
+void on_sigint(int) {
+  // First ^C: ask the analysis to stop at its next budget check; the
+  // partial summary still prints. Second ^C: the user means it.
+  if (g_sigint_count.fetch_add(1, std::memory_order_relaxed) > 0)
+    std::_Exit(130);
+  g_cancel.cancel();
+}
+
+int exit_code_for(core::Outcome o) {
+  switch (o) {
+    case core::Outcome::Schedulable: return 0;
+    case core::Outcome::NotSchedulable: return 1;
+    case core::Outcome::Error: return 2;
+    case core::Outcome::Inconclusive: return 3;
+  }
+  return 2;
+}
+
+// --- batch mode ---------------------------------------------------------
+
+struct BatchEntry {
+  std::vector<std::string> files;
+  std::string root;
+};
+
+/// One "<model.aadl>... <Root.impl>" per line; blank lines and '#' comments
+/// are skipped.
+std::optional<std::vector<BatchEntry>> read_batch_list(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "cannot open batch list '" << path << "'\n";
+    return std::nullopt;
+  }
+  std::vector<BatchEntry> entries;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (const auto hash = line.find('#'); hash != std::string::npos)
+      line.erase(hash);
+    std::istringstream ls(line);
+    BatchEntry e;
+    std::string tok;
+    while (ls >> tok) {
+      if (tok.find(".aadl") != std::string::npos)
+        e.files.push_back(tok);
+      else
+        e.root = tok;
+    }
+    if (e.files.empty() && e.root.empty()) continue;  // blank/comment line
+    if (e.files.empty() || e.root.empty()) {
+      std::cerr << path << ":" << lineno
+                << ": batch entry needs model file(s) and a root "
+                   "implementation\n";
+      return std::nullopt;
+    }
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+/// Parse + instantiate + analyze one entry. Never throws for front-end
+/// problems (they land in diagnostics with Outcome::Error); exceptions that
+/// do escape are caught by the sweep isolation layer.
+core::AnalysisResult analyze_entry(const BatchEntry& entry,
+                                   const core::AnalyzerOptions& opts) {
+  core::AnalysisResult result;
+  util::DiagnosticEngine diags(entry.files.front());
+  aadl::Model model;
+  for (const std::string& f : entry.files) {
+    const auto text = read_file(f);
+    if (!text) {
+      result.diagnostics = "cannot open '" + f + "'\n";
+      return result;
+    }
+    if (!aadl::parse_aadl(model, *text, diags)) {
+      result.diagnostics = diags.render_all();
+      return result;
+    }
+  }
+  auto instance = aadl::instantiate(model, entry.root, diags);
+  if (!instance || diags.has_errors()) {
+    result.diagnostics = diags.render_all();
+    return result;
+  }
+  result = core::analyze_instance(*instance, opts);
+  result.diagnostics = diags.render_all() + result.diagnostics;
+  return result;
+}
+
+std::string render_batch_json(const std::vector<BatchEntry>& entries,
+                              const std::vector<core::AnalysisResult>& results,
+                              bool keep_going, int exit_code) {
+  std::ostringstream os;
+  std::size_t counts[4] = {0, 0, 0, 0};
+  os << "{\n  \"models\": [";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const core::AnalysisResult& r = results[i];
+    ++counts[static_cast<std::size_t>(r.outcome)];
+    os << (i ? ",\n    " : "\n    ");
+    os << "{\"files\": [";
+    for (std::size_t f = 0; f < entries[i].files.size(); ++f)
+      os << (f ? ", " : "") << '"' << util::json_escape(entries[i].files[f])
+         << '"';
+    os << "], \"root\": \"" << util::json_escape(entries[i].root) << "\", ";
+    os << "\"outcome\": \"" << core::to_string(r.outcome) << "\", ";
+    os << "\"stop_reason\": \"" << util::to_string(r.stop_reason) << "\", ";
+    os << "\"states\": " << r.states << ", \"transitions\": "
+       << r.transitions << ", \"depth\": " << r.depth << ", ";
+    os << "\"trace_dropped\": " << (r.trace_dropped ? "true" : "false")
+       << ", \"explore_ms\": " << r.explore_ms;
+    if (r.outcome == core::Outcome::Error)
+      os << ", \"error\": \"" << util::json_escape(r.diagnostics) << '"';
+    os << '}';
+  }
+  os << (entries.empty() ? "]" : "\n  ]") << ",\n";
+  os << "  \"totals\": {\"schedulable\": "
+     << counts[static_cast<std::size_t>(core::Outcome::Schedulable)]
+     << ", \"not_schedulable\": "
+     << counts[static_cast<std::size_t>(core::Outcome::NotSchedulable)]
+     << ", \"inconclusive\": "
+     << counts[static_cast<std::size_t>(core::Outcome::Inconclusive)]
+     << ", \"error\": "
+     << counts[static_cast<std::size_t>(core::Outcome::Error)] << "},\n";
+  os << "  \"keep_going\": " << (keep_going ? "true" : "false") << ",\n";
+  os << "  \"exit_code\": " << exit_code << "\n}\n";
+  return os.str();
+}
+
+int run_batch(const std::string& list_path, std::size_t batch_workers,
+              bool keep_going, const std::string& report_path,
+              const core::AnalyzerOptions& opts) {
+  const auto entries = read_batch_list(list_path);
+  if (!entries) return 2;
+
+  std::vector<core::AnalysisResult> results(entries->size());
+  const versa::SweepReport sweep = versa::parallel_sweep(
+      entries->size(),
+      [&](std::size_t i) { results[i] = analyze_entry((*entries)[i], opts); },
+      batch_workers);
+  // A job that escaped with an exception produced no result; record the
+  // error so the report stays complete (one poisoned model, full batch).
+  for (const versa::SweepFailure& f : sweep.failures) {
+    results[f.job] = core::AnalysisResult{};
+    results[f.job].diagnostics = "analysis aborted: " + f.error + "\n";
+  }
+
+  // Exit-code policy. Model errors poison the exit code unless
+  // --keep-going; otherwise the worst analysis outcome wins.
+  bool any_error = false, any_notsched = false, any_inconclusive = false;
+  for (const core::AnalysisResult& r : results) {
+    any_error |= r.outcome == core::Outcome::Error;
+    any_notsched |= r.outcome == core::Outcome::NotSchedulable;
+    any_inconclusive |= r.outcome == core::Outcome::Inconclusive;
+  }
+  int code = 0;
+  if (any_error && !keep_going)
+    code = 2;
+  else if (any_notsched)
+    code = 1;
+  else if (any_inconclusive)
+    code = 3;
+
+  const std::string json =
+      render_batch_json(*entries, results, keep_going, code);
+  if (report_path.empty()) {
+    std::cout << json;
+  } else {
+    std::ofstream out(report_path);
+    if (!out) {
+      std::cerr << "cannot write report '" << report_path << "'\n";
+      return 2;
+    }
+    out << json;
+    std::cout << "batch report written to " << report_path << "\n";
+  }
+  return code;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -83,6 +300,10 @@ int main(int argc, char** argv) {
   bool classical = false;
   bool lint_only = false;
   bool lint_json = false;
+  std::string batch_list;
+  std::string report_path;
+  std::size_t batch_workers = 1;
+  bool keep_going = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -106,6 +327,27 @@ int main(int argc, char** argv) {
       const auto n = parse_option("--workers", argv[++i], 0, 65536);
       if (!n) return usage();
       opts.parallel.workers = static_cast<std::size_t>(*n);
+    } else if (arg == "--deadline-ms" && i + 1 < argc) {
+      const auto n = parse_option("--deadline-ms", argv[++i], 1,
+                                  std::numeric_limits<std::int32_t>::max());
+      if (!n) return usage();
+      opts.exploration.budget.deadline_ms = static_cast<double>(*n);
+    } else if (arg == "--memory-budget-mb" && i + 1 < argc) {
+      const auto n = parse_option("--memory-budget-mb", argv[++i], 1,
+                                  1'000'000'000);
+      if (!n) return usage();
+      opts.exploration.budget.memory_bytes =
+          static_cast<std::uint64_t>(*n) * 1024 * 1024;
+    } else if (arg == "--batch" && i + 1 < argc) {
+      batch_list = argv[++i];
+    } else if (arg == "--batch-workers" && i + 1 < argc) {
+      const auto n = parse_option("--batch-workers", argv[++i], 0, 65536);
+      if (!n) return usage();
+      batch_workers = static_cast<std::size_t>(*n);
+    } else if (arg == "--keep-going") {
+      keep_going = true;
+    } else if (arg == "--report" && i + 1 < argc) {
+      report_path = argv[++i];
     } else if (arg == "--latency" && i + 3 < argc) {
       translate::LatencySpec spec;
       spec.source_path = argv[++i];
@@ -136,6 +378,20 @@ int main(int argc, char** argv) {
     } else {
       root = arg;
     }
+  }
+
+  // Cooperative cancellation: exploration polls the token every budget
+  // check, so ^C yields the partial summary instead of discarding work.
+  opts.exploration.budget.cancel = &g_cancel;
+  std::signal(SIGINT, on_sigint);
+
+  if (!batch_list.empty()) {
+    if (!files.empty() || !root.empty()) {
+      std::cerr << "--batch takes its models from the list file\n";
+      return usage();
+    }
+    return run_batch(batch_list, batch_workers, keep_going, report_path,
+                     opts);
   }
   if (files.empty() || root.empty()) return usage();
 
@@ -231,6 +487,5 @@ int main(int argc, char** argv) {
   const core::AnalysisResult result = core::analyze_instance(*instance, opts);
   if (!result.diagnostics.empty()) std::cerr << result.diagnostics;
   std::cout << result.summary() << "\n";
-  if (!result.ok) return 2;
-  return result.schedulable ? 0 : 1;
+  return exit_code_for(result.outcome);
 }
