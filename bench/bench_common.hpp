@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "acsr/semantics.hpp"
 #include "aadl/instance.hpp"
@@ -76,6 +77,46 @@ inline sched::TaskSet workload(std::uint64_t seed, std::size_t n, double u,
 
 inline void print_header(const char* experiment, const char* claim) {
   std::printf("### %s\n# %s\n", experiment, claim);
+}
+
+/// Shared main for every bench binary: translates the repo-level flags into
+/// google-benchmark flags so tools/run_benches.sh and CI drive all binaries
+/// through one interface.
+///
+///   --json <out>   write the google-benchmark JSON report to <out>
+///   --smoke        CI smoke mode: skip the experiment table (it reruns the
+///                  full workloads) and cut benchmark repetitions to ~10 ms
+///
+/// Everything else is forwarded to google-benchmark untouched.
+inline int run_main(int argc, char** argv, void (*print_table)()) {
+  bool smoke = false;
+  std::string json_out;
+  std::vector<std::string> forwarded = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc)
+      json_out = argv[++i];
+    else if (arg == "--smoke")
+      smoke = true;
+    else
+      forwarded.push_back(arg);
+  }
+  if (!json_out.empty()) {
+    forwarded.push_back("--benchmark_out=" + json_out);
+    forwarded.push_back("--benchmark_out_format=json");
+  }
+  if (smoke) forwarded.push_back("--benchmark_min_time=0.01");
+
+  if (!smoke && print_table) print_table();
+
+  std::vector<char*> fargv;
+  for (std::string& s : forwarded) fargv.push_back(s.data());
+  int fargc = static_cast<int>(fargv.size());
+  fargv.push_back(nullptr);
+  benchmark::Initialize(&fargc, fargv.data());
+  if (benchmark::ReportUnrecognizedArguments(fargc, fargv.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
 }
 
 }  // namespace aadlsched::bench

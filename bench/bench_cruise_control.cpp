@@ -112,8 +112,5 @@ BENCHMARK(BM_EndToEndFineQuantum);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return aadlsched::bench::run_main(argc, argv, print_table);
 }

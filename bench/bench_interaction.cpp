@@ -135,8 +135,5 @@ BENCHMARK(BM_ChainExploration)->Arg(1)->Arg(4);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return aadlsched::bench::run_main(argc, argv, print_table);
 }

@@ -102,8 +102,5 @@ BENCHMARK(BM_ExploreLlf);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return aadlsched::bench::run_main(argc, argv, print_table);
 }

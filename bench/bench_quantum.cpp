@@ -94,8 +94,5 @@ BENCHMARK(BM_Quantum)->Arg(10)->Arg(5)->Arg(2);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return aadlsched::bench::run_main(argc, argv, print_table);
 }

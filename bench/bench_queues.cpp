@@ -122,8 +122,5 @@ BENCHMARK(BM_QueueSizeDrop)->Arg(1)->Arg(2)->Arg(4);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return aadlsched::bench::run_main(argc, argv, print_table);
 }

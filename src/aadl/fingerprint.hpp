@@ -1,0 +1,56 @@
+// Canonical content hash of an instantiated AADL model.
+//
+// The analysis service (src/server) memoizes verdicts by model content; for
+// that to be useful in the paper's interactive workflow — an editor
+// re-submitting the model after every tweak — the key must be *semantic*:
+// stable across whitespace, comments and declaration order (all of which
+// vanish or are canonicalized here), and sensitive to anything that can
+// change the analysis verdict (a period, a priority, a binding, a
+// connection, a queue size...).
+//
+// The fingerprint hashes a canonical text rendering of the *instance*
+// model (post parse + instantiate), in which:
+//   * component instances appear in sorted path order, with their
+//     category and instance path (classifier spellings are dropped — two
+//     models with identical instance trees analyze identically);
+//   * features are rendered sorted by name;
+//   * property associations are the declared ones on each instance's own
+//     implementation and type plus contained (`applies to`) associations,
+//     deduplicated first-wins per (name, target) — mirroring
+//     find_property's resolution order — then sorted;
+//   * semantic connections are rendered sorted, without their syntactic
+//     connection names (renaming a connection label is cosmetic);
+//   * processor bindings are rendered sorted by thread path.
+//
+// Two independently seeded 64-bit FNV-1a hashes over that text give a
+// 128-bit fingerprint; collisions are not a correctness concern at the
+// cache sizes involved but 64 bits alone would be uncomfortably small for
+// a persistent on-disk store.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "aadl/instance.hpp"
+
+namespace aadlsched::aadl {
+
+struct Fingerprint {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  /// 32 lowercase hex chars; used as the cache key / disk file name stem.
+  std::string hex() const;
+
+  friend bool operator==(const Fingerprint&, const Fingerprint&) = default;
+};
+
+/// The canonical rendering described above. Exposed for tests (asserting
+/// *why* two fingerprints differ beats comparing two opaque hashes) and
+/// debugging (`aadlschedd` logs it at high verbosity).
+std::string canonical_instance_text(const InstanceModel& model);
+
+/// Hash of canonical_instance_text(model).
+Fingerprint instance_fingerprint(const InstanceModel& model);
+
+}  // namespace aadlsched::aadl

@@ -1,0 +1,37 @@
+#include "core/result_json.hpp"
+
+namespace aadlsched::core {
+
+std::optional<Outcome> outcome_from_string(std::string_view s) {
+  for (const Outcome o : {Outcome::Error, Outcome::Schedulable,
+                          Outcome::NotSchedulable, Outcome::Inconclusive}) {
+    if (s == to_string(o)) return o;
+  }
+  return std::nullopt;
+}
+
+void append_result_fields(util::JsonWriter& w, const AnalysisResult& r) {
+  w.key("schema_version").value(kResultSchemaVersion);
+  w.key("outcome").value(to_string(r.outcome));
+  w.key("stop_reason").value(util::to_string(r.stop_reason));
+  w.key("schedulable").value(r.ok && r.schedulable);
+  w.key("exhaustive").value(r.exhaustive);
+  w.key("states").value(r.states);
+  w.key("transitions").value(r.transitions);
+  w.key("depth").value(r.depth);
+  w.key("trace_dropped").value(r.trace_dropped);
+  w.key("explore_ms").value(r.explore_ms);
+  w.key("peak_frontier").value(r.peak_frontier);
+  if (!r.decided_by.empty()) w.key("decided_by").value(r.decided_by);
+  if (r.outcome == Outcome::Error) w.key("error").value(r.diagnostics);
+}
+
+std::string render_result_json(const AnalysisResult& r) {
+  util::JsonWriter w;
+  w.begin_object();
+  append_result_fields(w, r);
+  w.end_object();
+  return std::move(w).str();
+}
+
+}  // namespace aadlsched::core

@@ -1,0 +1,102 @@
+#include "server/cache.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/result_json.hpp"
+#include "util/json.hpp"
+
+namespace aadlsched::server {
+
+namespace fs = std::filesystem;
+
+ResultCache::ResultCache(CacheConfig cfg)
+    : cfg_(std::move(cfg)), memory_(cfg_.memory_capacity) {
+  if (!cfg_.disk_dir.empty()) {
+    std::error_code ec;
+    fs::create_directories(cfg_.disk_dir, ec);
+    // A failed create degrades to memory-only: lookups will miss, stores
+    // will fail silently. The daemon surfaces the misconfiguration at
+    // startup instead (it stats the directory).
+  }
+}
+
+std::string ResultCache::disk_path(const std::string& key) const {
+  // Keys are hex digests — already safe as file names.
+  return cfg_.disk_dir + "/" + key + ".json";
+}
+
+std::optional<ResultCache::Entry> ResultCache::disk_load(
+    const std::string& key) const {
+  std::ifstream in(disk_path(key));
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string json = buf.str();
+  while (!json.empty() && (json.back() == '\n' || json.back() == '\r'))
+    json.pop_back();
+  // The file *is* the canonical result object; recover the outcome from its
+  // "outcome" field and reject anything torn or foreign.
+  const auto doc = util::parse_json(json);
+  if (!doc || !doc->is_object()) return std::nullopt;
+  const auto* outcome = doc->get("outcome");
+  if (!outcome || !outcome->is_string()) return std::nullopt;
+  const auto parsed = core::outcome_from_string(outcome->as_string());
+  if (!parsed || !cacheable(*parsed)) return std::nullopt;
+  return Entry{*parsed, std::move(json)};
+}
+
+std::optional<ResultCache::Hit> ResultCache::lookup(const std::string& key) {
+  {
+    std::lock_guard lock(mu_);
+    if (auto entry = memory_.get(key))
+      return Hit{entry->outcome, std::move(entry->result_json), false};
+  }
+  if (cfg_.disk_dir.empty()) return std::nullopt;
+  // Disk I/O outside the lock; a racing store of the same key is benign
+  // (same bytes by construction — keys are content hashes).
+  auto entry = disk_load(key);
+  if (!entry) return std::nullopt;
+  {
+    std::lock_guard lock(mu_);
+    memory_.put(key, *entry);
+  }
+  return Hit{entry->outcome, std::move(entry->result_json), true};
+}
+
+void ResultCache::store(const std::string& key, core::Outcome outcome,
+                        const std::string& result_json) {
+  if (!cacheable(outcome)) return;
+  {
+    std::lock_guard lock(mu_);
+    memory_.put(key, Entry{outcome, result_json});
+  }
+  if (cfg_.disk_dir.empty()) return;
+  const std::string final_path = disk_path(key);
+  const std::string tmp_path =
+      final_path + ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream out(tmp_path, std::ios::trunc);
+    if (!out) return;  // read-only dir: memory tier still works
+    out << result_json << '\n';
+  }
+  std::error_code ec;
+  fs::rename(tmp_path, final_path, ec);
+  if (ec) fs::remove(tmp_path, ec);
+}
+
+std::uint64_t ResultCache::evictions() const {
+  std::lock_guard lock(mu_);
+  return memory_.evictions();
+}
+
+std::uint64_t ResultCache::entries() const {
+  std::lock_guard lock(mu_);
+  return memory_.size();
+}
+
+}  // namespace aadlsched::server

@@ -1,0 +1,80 @@
+// Two-tier content-addressed result cache.
+//
+// Tier 1 is a bounded in-memory LRU; tier 2 is an optional on-disk store
+// (one file per key, written atomically via rename) that survives daemon
+// restarts — a second daemon pointed at the same directory serves warm
+// verdicts without re-exploring. A disk hit is promoted into the memory
+// tier.
+//
+// Keys combine the model's canonical content fingerprint
+// (aadl::instance_fingerprint) with a hash of the *semantic* analysis
+// options (quantum, execution-time model, lint) — two requests that could
+// legitimately produce different verdicts never share a key.
+//
+// Soundness policy: only *conclusive* outcomes (Schedulable /
+// NotSchedulable) are cached. A conclusive verdict is invariant to resource
+// budgets — a deadlock is a deadlock no matter the deadline that was set,
+// and "full space explored, no deadlock" does not depend on how much
+// headroom was left — so serving it for any later budget is correct. An
+// Inconclusive or Error outcome, by contrast, depends on the budget (or on
+// transient front-end state) and must be recomputed, possibly with a
+// bigger envelope. cacheable() encodes this.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "core/analyzer.hpp"
+#include "util/lru_cache.hpp"
+
+namespace aadlsched::server {
+
+struct CacheConfig {
+  std::size_t memory_capacity = 1024;  // result objects are small (~300 B)
+  std::string disk_dir;                // "" disables the disk tier
+};
+
+/// Budget-invariant outcomes only (see soundness policy above).
+inline bool cacheable(core::Outcome o) {
+  return o == core::Outcome::Schedulable || o == core::Outcome::NotSchedulable;
+}
+
+class ResultCache {
+ public:
+  struct Hit {
+    core::Outcome outcome = core::Outcome::Error;
+    std::string result_json;
+    bool from_disk = false;
+  };
+
+  explicit ResultCache(CacheConfig cfg);
+
+  /// Memory tier first, then disk (promoting on a disk hit).
+  std::optional<Hit> lookup(const std::string& key);
+
+  /// No-op unless cacheable(outcome). Disk writes are atomic
+  /// (tmp + rename) so a concurrent reader never sees a torn file.
+  void store(const std::string& key, core::Outcome outcome,
+             const std::string& result_json);
+
+  std::uint64_t evictions() const;
+  std::uint64_t entries() const;
+  bool has_disk_tier() const { return !cfg_.disk_dir.empty(); }
+
+ private:
+  struct Entry {
+    core::Outcome outcome;
+    std::string result_json;
+  };
+
+  std::string disk_path(const std::string& key) const;
+  std::optional<Entry> disk_load(const std::string& key) const;
+
+  CacheConfig cfg_;
+  mutable std::mutex mu_;
+  util::LruCache<std::string, Entry> memory_;
+};
+
+}  // namespace aadlsched::server

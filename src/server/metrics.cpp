@@ -1,0 +1,141 @@
+#include "server/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/json.hpp"
+
+namespace aadlsched::server {
+
+std::string StatsSnapshot::render_json() const {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("requests").value(requests);
+  w.key("analyze_requests").value(analyze_requests);
+  w.key("analyses_run").value(analyses_run);
+  w.key("cache").begin_object();
+  w.key("hits_memory").value(cache_hits_memory);
+  w.key("hits_disk").value(cache_hits_disk);
+  w.key("misses").value(cache_misses);
+  w.key("stores").value(cache_stores);
+  w.key("evictions").value(cache_evictions);
+  w.key("entries").value(cache_entries);
+  w.end_object();
+  w.key("coalesced").value(coalesced);
+  w.key("protocol_errors").value(protocol_errors);
+  w.key("outcomes").begin_object();
+  w.key("error").value(outcomes[static_cast<int>(core::Outcome::Error)]);
+  w.key("schedulable")
+      .value(outcomes[static_cast<int>(core::Outcome::Schedulable)]);
+  w.key("not_schedulable")
+      .value(outcomes[static_cast<int>(core::Outcome::NotSchedulable)]);
+  w.key("inconclusive")
+      .value(outcomes[static_cast<int>(core::Outcome::Inconclusive)]);
+  w.end_object();
+  w.key("in_flight").value(in_flight);
+  w.key("queue_depth").value(queue_depth);
+  w.key("latency").begin_object();
+  w.key("samples").value(latency_samples);
+  w.key("p50_ms").value(p50_ms);
+  w.key("p95_ms").value(p95_ms);
+  w.key("max_ms").value(max_ms);
+  w.end_object();
+  w.key("uptime_ms").value(uptime_ms);
+  w.end_object();
+  return std::move(w).str();
+}
+
+void Metrics::record_request(Op op) {
+  std::lock_guard lock(mu_);
+  ++s_.requests;
+  if (op == Op::Analyze) ++s_.analyze_requests;
+}
+
+void Metrics::record_analysis_run() {
+  std::lock_guard lock(mu_);
+  ++s_.analyses_run;
+}
+
+void Metrics::record_protocol_error() {
+  std::lock_guard lock(mu_);
+  ++s_.requests;  // a malformed line is still a served request
+  ++s_.protocol_errors;
+}
+
+void Metrics::record_outcome(core::Outcome o) {
+  std::lock_guard lock(mu_);
+  ++s_.outcomes[static_cast<int>(o)];
+}
+
+void Metrics::record_hit(bool disk_tier) {
+  std::lock_guard lock(mu_);
+  if (disk_tier)
+    ++s_.cache_hits_disk;
+  else
+    ++s_.cache_hits_memory;
+}
+
+void Metrics::record_miss() {
+  std::lock_guard lock(mu_);
+  ++s_.cache_misses;
+}
+
+void Metrics::record_store() {
+  std::lock_guard lock(mu_);
+  ++s_.cache_stores;
+}
+
+void Metrics::record_coalesced() {
+  std::lock_guard lock(mu_);
+  ++s_.coalesced;
+}
+
+void Metrics::record_latency_ms(double ms) {
+  std::lock_guard lock(mu_);
+  if (latency_ring_.size() < kLatencyRing) {
+    latency_ring_.push_back(ms);
+  } else {
+    latency_ring_[latency_next_] = ms;
+    latency_next_ = (latency_next_ + 1) % kLatencyRing;
+  }
+  ++latency_total_;
+  latency_max_ = std::max(latency_max_, ms);
+}
+
+void Metrics::in_flight_delta(int d) {
+  std::lock_guard lock(mu_);
+  s_.in_flight += static_cast<std::uint64_t>(d);
+}
+
+void Metrics::queue_depth_delta(int d) {
+  std::lock_guard lock(mu_);
+  s_.queue_depth += static_cast<std::uint64_t>(d);
+}
+
+StatsSnapshot Metrics::snapshot(std::uint64_t cache_evictions,
+                                std::uint64_t cache_entries) const {
+  std::lock_guard lock(mu_);
+  StatsSnapshot out = s_;
+  out.cache_evictions = cache_evictions;
+  out.cache_entries = cache_entries;
+  out.analyses_run = s_.analyses_run;
+  out.latency_samples = latency_total_;
+  out.max_ms = latency_max_;
+  if (!latency_ring_.empty()) {
+    std::vector<double> sorted = latency_ring_;
+    std::sort(sorted.begin(), sorted.end());
+    const auto pct = [&](double p) {
+      const std::size_t idx = static_cast<std::size_t>(
+          p * static_cast<double>(sorted.size() - 1) + 0.5);
+      return sorted[std::min(idx, sorted.size() - 1)];
+    };
+    out.p50_ms = pct(0.50);
+    out.p95_ms = pct(0.95);
+  }
+  out.uptime_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start_)
+          .count();
+  return out;
+}
+
+}  // namespace aadlsched::server

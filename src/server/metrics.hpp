@@ -1,0 +1,85 @@
+// Service observability: monotonic counters plus a bounded latency sample
+// ring, snapshotted into the `stats` response. One mutex guards the whole
+// structure — every update is a handful of integer stores, so contention is
+// irrelevant next to an analysis run, and a single lock makes the snapshot
+// internally consistent (hits + misses == analyze lookups, always).
+//
+// Counters are cumulative since service start and never decrease (the
+// concurrent-use test asserts monotonicity across snapshots); gauges
+// (in_flight, queue_depth) float freely.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/analyzer.hpp"
+#include "server/protocol.hpp"
+
+namespace aadlsched::server {
+
+struct StatsSnapshot {
+  // Counters.
+  std::uint64_t requests = 0;          // all ops
+  std::uint64_t analyze_requests = 0;  // op == analyze
+  std::uint64_t analyses_run = 0;      // actually explored (miss, post-coalesce)
+  std::uint64_t cache_hits_memory = 0;
+  std::uint64_t cache_hits_disk = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_stores = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t coalesced = 0;  // requests that piggybacked an in-flight run
+  std::uint64_t protocol_errors = 0;
+  std::uint64_t outcomes[4] = {0, 0, 0, 0};  // indexed by core::Outcome
+  // Gauges.
+  std::uint64_t in_flight = 0;    // analyses executing right now
+  std::uint64_t queue_depth = 0;  // admitted but not yet executing
+  std::uint64_t cache_entries = 0;
+  // Latency of served analyze requests (submit -> response), milliseconds.
+  std::uint64_t latency_samples = 0;
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double max_ms = 0;
+  double uptime_ms = 0;
+
+  /// Render as the `stats` JSON object (the last member of the stats
+  /// response line).
+  std::string render_json() const;
+};
+
+class Metrics {
+ public:
+  Metrics() : start_(std::chrono::steady_clock::now()) {}
+
+  void record_request(Op op);
+  void record_analysis_run();
+  void record_protocol_error();
+  void record_outcome(core::Outcome o);
+  void record_hit(bool disk_tier);
+  void record_miss();
+  void record_store();
+  void record_coalesced();
+  void record_latency_ms(double ms);
+  void in_flight_delta(int d);
+  void queue_depth_delta(int d);
+
+  /// `cache_evictions`/`cache_entries` are sampled from the cache at
+  /// snapshot time (the cache owns those numbers).
+  StatsSnapshot snapshot(std::uint64_t cache_evictions,
+                         std::uint64_t cache_entries) const;
+
+ private:
+  static constexpr std::size_t kLatencyRing = 4096;
+
+  mutable std::mutex mu_;
+  StatsSnapshot s_;  // counters/gauges only; latency fields filled at snapshot
+  std::vector<double> latency_ring_;
+  std::size_t latency_next_ = 0;
+  std::uint64_t latency_total_ = 0;
+  double latency_max_ = 0;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace aadlsched::server

@@ -1,0 +1,368 @@
+#include "server/service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "aadl/fingerprint.hpp"
+#include "aadl/parser.hpp"
+#include "core/result_json.hpp"
+#include "util/hash.hpp"
+
+namespace aadlsched::server {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+/// Hash of the semantic analysis options — the part of the cache key that
+/// is not the model. Budgets are deliberately absent: only budget-invariant
+/// (conclusive) outcomes are cached (see cache.hpp).
+std::string options_key(const RequestOptions& ro) {
+  std::uint64_t h = util::fnv1a("options-v1");
+  h = util::hash_combine(h, static_cast<std::uint64_t>(ro.quantum_ns));
+  h = util::hash_combine(h, ro.late_completion ? 1u : 0u);
+  h = util::hash_combine(h, ro.run_lint ? 1u : 0u);
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+/// Everything that must stay alive for the instance to be analyzable: the
+/// declarative model (the instance tree points into its types/impls) plus
+/// the instance itself.
+struct Parsed {
+  aadl::Model model;
+  std::unique_ptr<aadl::InstanceModel> instance;
+  std::string front_end_output;  // rendered diagnostics (warnings on success)
+};
+
+std::unique_ptr<Parsed> parse_request_model(const Request& req,
+                                            std::string& error) {
+  auto parsed = std::make_unique<Parsed>();
+  util::DiagnosticEngine diags(req.id.empty() ? "<request>" : req.id);
+  if (!aadl::parse_aadl(parsed->model, req.model, diags)) {
+    error = diags.render_all();
+    return nullptr;
+  }
+  parsed->instance = aadl::instantiate(parsed->model, req.root, diags);
+  if (!parsed->instance || diags.has_errors()) {
+    error = diags.render_all();
+    return nullptr;
+  }
+  parsed->front_end_output = diags.render_all();
+  return parsed;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// AdmissionQueue
+// ---------------------------------------------------------------------------
+
+void AdmissionQueue::push(std::uint64_t ticket, bool small) {
+  (small ? small_ : large_).push_back(ticket);
+}
+
+std::optional<std::uint64_t> AdmissionQueue::pop() {
+  if (small_.empty() && large_.empty()) return std::nullopt;
+  bool take_small;
+  if (small_.empty())
+    take_small = false;
+  else if (large_.empty())
+    take_small = true;
+  else
+    take_small = small_streak_ < burst_;
+  if (take_small) {
+    // The streak only counts small admissions that made a large request
+    // wait; a purely small workload never "uses up" its burst.
+    if (!large_.empty()) ++small_streak_;
+    const std::uint64_t t = small_.front();
+    small_.pop_front();
+    return t;
+  }
+  small_streak_ = 0;
+  const std::uint64_t t = large_.front();
+  large_.pop_front();
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// Service
+// ---------------------------------------------------------------------------
+
+struct Service::Job {
+  struct Waiter {
+    std::promise<Response> promise;
+    std::string id;
+    Clock::time_point t0;
+  };
+
+  Request req;  // the first submitter's request (runs with its options)
+  std::string key;
+  std::string fingerprint;
+  std::unique_ptr<Parsed> parsed;
+  std::vector<Waiter> waiters;  // guarded by Service::mu_
+};
+
+Service::Service(ServiceConfig cfg)
+    : cfg_(cfg), cache_(cfg.cache), admission_(std::max<std::size_t>(
+                                        1, cfg.small_burst)) {
+  std::size_t n = cfg_.workers;
+  if (n == 0)
+    n = std::max<unsigned>(1, std::thread::hardware_concurrency());
+  for (std::size_t i = 0; i < n; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+Service::~Service() {
+  shutdown();
+  for (std::thread& t : workers_) t.join();
+}
+
+void Service::shutdown() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool Service::shutting_down() const {
+  std::lock_guard lock(mu_);
+  return stop_;
+}
+
+core::AnalyzerOptions Service::analyzer_options(
+    const RequestOptions& ro) const {
+  core::AnalyzerOptions opts;
+  opts.translation.quantum_ns = ro.quantum_ns;
+  opts.translation.time_model = ro.late_completion
+                                    ? translate::ExecutionTimeModel::LateCompletion
+                                    : translate::ExecutionTimeModel::CommittedDemand;
+  opts.run_lint = ro.run_lint;
+  opts.exploration.max_states = ro.max_states;
+  if (cfg_.max_states_cap > 0)
+    opts.exploration.max_states =
+        std::min(opts.exploration.max_states, cfg_.max_states_cap);
+  opts.exploration.budget.deadline_ms = ro.deadline_ms;
+  if (cfg_.max_deadline_ms > 0) {
+    opts.exploration.budget.deadline_ms =
+        ro.deadline_ms > 0 ? std::min(ro.deadline_ms, cfg_.max_deadline_ms)
+                           : cfg_.max_deadline_ms;
+  }
+  std::uint64_t mem_mb = ro.memory_budget_mb;
+  if (cfg_.memory_budget_mb_cap > 0)
+    mem_mb = mem_mb > 0 ? std::min(mem_mb, cfg_.memory_budget_mb_cap)
+                        : cfg_.memory_budget_mb_cap;
+  opts.exploration.budget.memory_bytes = mem_mb * 1024 * 1024;
+  const std::size_t max_w = std::max<std::size_t>(1, cfg_.max_request_workers);
+  opts.parallel.workers =
+      ro.workers == 0 ? max_w : std::min(ro.workers, max_w);
+  return opts;
+}
+
+std::future<Response> Service::submit(Request req) {
+  const Clock::time_point t0 = Clock::now();
+  metrics_.record_request(req.op);
+
+  const auto immediate = [&](Response resp) {
+    std::promise<Response> p;
+    auto fut = p.get_future();
+    p.set_value(std::move(resp));
+    return fut;
+  };
+
+  Response resp;
+  resp.op = req.op;
+  resp.id = req.id;
+
+  switch (req.op) {
+    case Op::Ping:
+      resp.ok = true;
+      return immediate(std::move(resp));
+    case Op::Stats:
+      resp.ok = true;
+      resp.stats_json = stats_json();
+      return immediate(std::move(resp));
+    case Op::Shutdown:
+      resp.ok = true;
+      shutdown();
+      return immediate(std::move(resp));
+    case Op::Analyze:
+      break;
+  }
+
+  if (shutting_down()) {
+    resp.ok = false;
+    resp.error = "service is shutting down";
+    return immediate(std::move(resp));
+  }
+
+  // Front end on the submitting thread: parse + instantiate + fingerprint
+  // are microseconds against an exploration, and the fingerprint is needed
+  // before any scheduling decision (it IS the cache key).
+  std::string front_end_error;
+  auto parsed = parse_request_model(req, front_end_error);
+  if (!parsed) {
+    core::AnalysisResult err;
+    err.diagnostics = front_end_error;
+    resp.ok = true;  // protocol-level success; the analysis outcome is Error
+    resp.outcome = core::Outcome::Error;
+    resp.cached = false;
+    resp.cache_tier = "none";
+    resp.result_json = core::render_result_json(err);
+    resp.served_ms = ms_since(t0);
+    metrics_.record_outcome(core::Outcome::Error);
+    metrics_.record_latency_ms(resp.served_ms);
+    return immediate(std::move(resp));
+  }
+
+  const aadl::Fingerprint fp = aadl::instance_fingerprint(*parsed->instance);
+  const std::string key = fp.hex() + "-" + options_key(req.options);
+
+  if (!req.no_cache) {
+    if (auto hit = cache_.lookup(key)) {
+      resp.ok = true;
+      resp.outcome = hit->outcome;
+      resp.fingerprint = fp.hex();
+      resp.cached = true;
+      resp.cache_tier = hit->from_disk ? "disk" : "memory";
+      resp.result_json = std::move(hit->result_json);
+      resp.served_ms = ms_since(t0);
+      metrics_.record_hit(hit->from_disk);
+      metrics_.record_outcome(hit->outcome);
+      metrics_.record_latency_ms(resp.served_ms);
+      return immediate(std::move(resp));
+    }
+    metrics_.record_miss();
+  }
+
+  const bool small = req.model.size() < cfg_.small_model_bytes;
+  std::future<Response> fut;
+  {
+    std::lock_guard lock(mu_);
+    if (stop_) {
+      resp.ok = false;
+      resp.error = "service is shutting down";
+      return immediate(std::move(resp));
+    }
+    if (!req.no_cache) {
+      // Coalesce onto an identical in-flight run: one exploration, many
+      // responses.
+      const auto it = pending_.find(key);
+      if (it != pending_.end()) {
+        Job::Waiter w;
+        w.id = req.id;
+        w.t0 = t0;
+        fut = w.promise.get_future();
+        it->second->waiters.push_back(std::move(w));
+        metrics_.record_coalesced();
+        return fut;
+      }
+    }
+    auto job = std::make_shared<Job>();
+    job->req = std::move(req);
+    job->key = key;
+    job->fingerprint = fp.hex();
+    job->parsed = std::move(parsed);
+    Job::Waiter w;
+    w.id = job->req.id;
+    w.t0 = t0;
+    fut = w.promise.get_future();
+    job->waiters.push_back(std::move(w));
+    const std::uint64_t ticket = next_ticket_++;
+    admission_.push(ticket, small);
+    queued_.emplace(ticket, job);
+    if (!job->req.no_cache) pending_.emplace(key, job);
+    metrics_.queue_depth_delta(+1);
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+void Service::worker_loop() {
+  while (true) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [&] { return stop_ || admission_.size() > 0; });
+      const auto ticket = admission_.pop();
+      if (!ticket) {
+        if (stop_) return;  // drained
+        continue;
+      }
+      const auto it = queued_.find(*ticket);
+      job = it->second;
+      queued_.erase(it);
+      metrics_.queue_depth_delta(-1);
+    }
+    run_job(job);
+  }
+}
+
+void Service::run_job(const std::shared_ptr<Job>& job) {
+  metrics_.in_flight_delta(+1);
+  metrics_.record_analysis_run();
+
+  const core::AnalyzerOptions opts = analyzer_options(job->req.options);
+  core::AnalysisResult result =
+      core::analyze_instance(*job->parsed->instance, opts);
+  result.diagnostics = job->parsed->front_end_output + result.diagnostics;
+  const std::string result_json = core::render_result_json(result);
+
+  if (!job->req.no_cache && cacheable(result.outcome)) {
+    cache_.store(job->key, result.outcome, result_json);
+    metrics_.record_store();
+  }
+
+  std::vector<Job::Waiter> waiters;
+  {
+    std::lock_guard lock(mu_);
+    waiters = std::move(job->waiters);
+    job->waiters.clear();
+    if (!job->req.no_cache) pending_.erase(job->key);
+  }
+  for (Job::Waiter& w : waiters) {
+    Response resp;
+    resp.op = Op::Analyze;
+    resp.ok = true;
+    resp.id = w.id;
+    resp.outcome = result.outcome;
+    resp.fingerprint = job->fingerprint;
+    resp.cached = false;
+    resp.cache_tier = "none";
+    resp.result_json = result_json;
+    resp.served_ms = ms_since(w.t0);
+    metrics_.record_outcome(result.outcome);
+    metrics_.record_latency_ms(resp.served_ms);
+    w.promise.set_value(std::move(resp));
+  }
+  metrics_.in_flight_delta(-1);
+}
+
+Response Service::handle(Request req) { return submit(std::move(req)).get(); }
+
+std::string Service::handle_line(std::string_view line) {
+  std::string error;
+  auto req = parse_request(line, error);
+  if (!req) {
+    metrics_.record_protocol_error();
+    Response resp;
+    resp.ok = false;
+    resp.error = error;
+    return render_response(resp);
+  }
+  return render_response(handle(std::move(*req)));
+}
+
+std::string Service::stats_json() {
+  return metrics_.snapshot(cache_.evictions(), cache_.entries()).render_json();
+}
+
+}  // namespace aadlsched::server

@@ -1,0 +1,126 @@
+// The in-process analysis service: the daemon minus the socket.
+//
+// A Service owns a worker pool, an admission queue, a two-tier result
+// cache and a metrics block. submit() classifies the request:
+//
+//   * stats / ping / shutdown are answered inline (they must stay
+//     responsive while every worker grinds on a storm model);
+//   * analyze is parsed and fingerprinted on the submitting thread (cheap
+//     next to exploration), then
+//       - served from cache immediately on a hit (hits never queue behind
+//         a running exploration — the whole point of the cache),
+//       - coalesced onto an identical in-flight run on a pending-key match
+//         (a thundering herd of identical edits runs the exploration once),
+//       - otherwise enqueued for a worker.
+//
+// Admission is fair FIFO with a small-model fast lane: requests whose
+// model text is under ServiceConfig::small_model_bytes go to the small
+// lane, and the scheduler serves up to small_burst small requests per
+// large one when both lanes are non-empty (weighted round-robin — an
+// interactive editor ping-ponging a 3-thread model is not stuck behind a
+// batch of avionics suites, and the batch still makes progress; within a
+// lane, strict FIFO). Per-request budgets are clamped to the service caps
+// before running, so one client cannot buy an unbounded exploration.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "server/cache.hpp"
+#include "server/metrics.hpp"
+#include "server/protocol.hpp"
+
+namespace aadlsched::server {
+
+struct ServiceConfig {
+  /// Analysis worker threads. 0 = hardware concurrency (min 1).
+  std::size_t workers = 1;
+  CacheConfig cache;
+  /// Server-side caps clamped onto every request's budget; 0 = uncapped.
+  double max_deadline_ms = 0;
+  std::uint64_t max_states_cap = 0;
+  std::uint64_t memory_budget_mb_cap = 0;
+  std::size_t max_request_workers = 8;  // per-request exploration threads
+  /// Admission policy (see file comment).
+  std::size_t small_model_bytes = 16 * 1024;
+  std::size_t small_burst = 4;
+};
+
+/// Admission order, factored out of Service so the policy is unit-testable
+/// without threads: two FIFO lanes plus a burst counter.
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(std::size_t small_burst) : burst_(small_burst) {}
+
+  void push(std::uint64_t ticket, bool small);
+  /// Next ticket to admit; nullopt when empty.
+  std::optional<std::uint64_t> pop();
+  std::size_t size() const { return small_.size() + large_.size(); }
+
+ private:
+  std::deque<std::uint64_t> small_;
+  std::deque<std::uint64_t> large_;
+  std::size_t burst_;
+  std::size_t small_streak_ = 0;
+};
+
+class Service {
+ public:
+  explicit Service(ServiceConfig cfg = {});
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Non-blocking for stats/ping/shutdown and for analyze cache hits; an
+  /// analyze miss resolves when a worker finishes the exploration.
+  std::future<Response> submit(Request req);
+
+  /// submit() + wait. The convenience path for tests and the TCP layer.
+  Response handle(Request req);
+
+  /// Parse a request line, execute it, render the response line. The whole
+  /// server loop body, shared by the daemon and in-process tests.
+  std::string handle_line(std::string_view line);
+
+  /// Rendered stats object (also reachable via an Op::Stats request).
+  std::string stats_json();
+
+  /// Stop accepting new work; queued and in-flight analyses complete and
+  /// their futures resolve. Idempotent.
+  void shutdown();
+  bool shutting_down() const;
+
+  const ServiceConfig& config() const { return cfg_; }
+
+ private:
+  struct Job;
+
+  core::AnalyzerOptions analyzer_options(const RequestOptions& ro) const;
+  void worker_loop();
+  void run_job(const std::shared_ptr<Job>& job);
+
+  ServiceConfig cfg_;
+  ResultCache cache_;
+  Metrics metrics_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::uint64_t next_ticket_ = 0;
+  AdmissionQueue admission_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Job>> queued_;
+  /// cache-key -> in-flight job accepting coalesced waiters.
+  std::unordered_map<std::string, std::shared_ptr<Job>> pending_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace aadlsched::server

@@ -1,0 +1,252 @@
+#include "server/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "util/string_utils.hpp"
+
+namespace aadlsched::server {
+
+namespace {
+
+bool send_all(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+/// Read up to the next '\n' into `line` (newline stripped), buffering any
+/// overshoot in `buffer`. False on EOF/error with nothing pending.
+bool recv_line(int fd, std::string& buffer, std::string& line) {
+  while (true) {
+    const auto nl = buffer.find('\n');
+    if (nl != std::string::npos) {
+      line = buffer.substr(0, nl);
+      buffer.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace
+
+bool parse_endpoint(std::string_view spec, std::string& host,
+                    std::uint16_t& port) {
+  const auto colon = spec.rfind(':');
+  if (colon == std::string_view::npos) return false;
+  host = std::string(spec.substr(0, colon));
+  if (host.empty()) host = "127.0.0.1";
+  const auto p = util::parse_int64(spec.substr(colon + 1));
+  if (!p || *p < 1 || *p > 65535) return false;
+  port = static_cast<std::uint16_t>(*p);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// TcpServer
+// ---------------------------------------------------------------------------
+
+TcpServer::TcpServer(Service& service, TcpConfig cfg)
+    : service_(service), cfg_(std::move(cfg)) {}
+
+TcpServer::~TcpServer() { stop(); }
+
+bool TcpServer::start(std::string& error) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(cfg_.port);
+  if (::inet_pton(AF_INET, cfg_.host.c_str(), &addr.sin_addr) != 1) {
+    error = "bad bind address '" + cfg_.host + "'";
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+      0) {
+    error = "bind " + cfg_.host + ":" + std::to_string(cfg_.port) + ": " +
+            std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    error = std::string("listen: ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  port_ = ntohs(bound.sin_port);
+
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void TcpServer::accept_loop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed by stop()
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    std::lock_guard lock(mu_);
+    if (stopping_.load(std::memory_order_relaxed)) {
+      ::close(fd);
+      break;
+    }
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back([this, fd] { connection_loop(fd); });
+  }
+}
+
+void TcpServer::connection_loop(int fd) {
+  std::string buffer, line;
+  while (!stopping_.load(std::memory_order_relaxed) &&
+         recv_line(fd, buffer, line)) {
+    if (line.empty()) continue;  // tolerate keep-alive blank lines
+    const std::string response = service_.handle_line(line);
+    if (!send_all(fd, response) || !send_all(fd, "\n")) break;
+    // A shutdown request flips the service; wake the daemon's main thread
+    // after the ok response has been sent so the client sees the ack.
+    if (service_.shutting_down()) {
+      std::lock_guard lock(mu_);
+      shutdown_requested_ = true;
+      cv_shutdown_.notify_all();
+      break;
+    }
+  }
+  // De-register before closing so stop() can never shut down a recycled
+  // descriptor: an fd is either still listed (stop() pokes it under mu_) or
+  // already owned again by this thread alone.
+  {
+    std::lock_guard lock(mu_);
+    conn_fds_.erase(std::remove(conn_fds_.begin(), conn_fds_.end(), fd),
+                    conn_fds_.end());
+  }
+  ::shutdown(fd, SHUT_RDWR);
+  ::close(fd);
+}
+
+void TcpServer::wait_shutdown() {
+  std::unique_lock lock(mu_);
+  cv_shutdown_.wait(lock, [&] { return shutdown_requested_; });
+}
+
+void TcpServer::stop() {
+  bool was_stopping = stopping_.exchange(true);
+  {
+    std::lock_guard lock(mu_);
+    shutdown_requested_ = true;
+    cv_shutdown_.notify_all();
+  }
+  if (was_stopping) {
+    // A second caller (destructor after explicit stop) has nothing to join.
+    return;
+  }
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> threads;
+  {
+    // Poke live connections under the lock (see connection_loop teardown);
+    // their threads erase and close the fds themselves.
+    std::lock_guard lock(mu_);
+    for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+    threads.swap(conn_threads_);
+  }
+  for (std::thread& t : threads) t.join();
+  listen_fd_ = -1;
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+Client::~Client() { close(); }
+
+bool Client::connect(const std::string& host, std::uint16_t port,
+                     std::string& error) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    error = "bad host '" + host + "' (numeric IPv4 expected)";
+    close();
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    error = "connect " + host + ":" + std::to_string(port) + ": " +
+            std::strerror(errno);
+    close();
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return true;
+}
+
+bool Client::roundtrip(const std::string& request_line,
+                       std::string& response_line, std::string& error) {
+  if (fd_ < 0) {
+    error = "not connected";
+    return false;
+  }
+  if (!send_all(fd_, request_line) || !send_all(fd_, "\n")) {
+    error = std::string("send: ") + std::strerror(errno);
+    return false;
+  }
+  if (!recv_line(fd_, rx_buffer_, response_line)) {
+    error = "connection closed before a response arrived";
+    return false;
+  }
+  return true;
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  rx_buffer_.clear();
+}
+
+}  // namespace aadlsched::server

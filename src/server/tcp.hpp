@@ -1,0 +1,93 @@
+// The socket skin over server::Service: a POSIX TCP listener speaking the
+// newline-delimited JSON protocol, plus the matching blocking Client used
+// by `aadlsched --connect`.
+//
+// Deliberately boring networking: one accept thread, one thread per
+// connection, blocking reads. Concurrency and scheduling live in the
+// Service (its admission queue and worker pool); the TCP layer only has to
+// keep slow readers from blocking each other, which per-connection threads
+// do at the traffic levels an analysis daemon sees (requests carry whole
+// AADL models — this is not a 100k-connections workload).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/service.hpp"
+
+namespace aadlsched::server {
+
+struct TcpConfig {
+  std::string host = "127.0.0.1";  // bind address (loopback by default)
+  std::uint16_t port = 0;          // 0 = ephemeral; see TcpServer::port()
+};
+
+class TcpServer {
+ public:
+  TcpServer(Service& service, TcpConfig cfg);
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Bind + listen + spawn the accept thread. False (with a reason) on
+  /// bind failure — the daemon reports and exits 2.
+  bool start(std::string& error);
+
+  /// Actual bound port (resolves port 0 after start()).
+  std::uint16_t port() const { return port_; }
+
+  /// Block until a client's shutdown request (or stop()) ends the serve
+  /// loop. The daemon's main thread parks here.
+  void wait_shutdown();
+
+  /// Close the listener and every live connection, join all threads.
+  /// Idempotent; also triggered by an Op::Shutdown request.
+  void stop();
+
+ private:
+  void accept_loop();
+  void connection_loop(int fd);
+
+  Service& service_;
+  TcpConfig cfg_;
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  std::atomic<bool> stopping_{false};
+
+  std::mutex mu_;
+  std::condition_variable cv_shutdown_;
+  bool shutdown_requested_ = false;
+  std::vector<int> conn_fds_;
+  std::vector<std::thread> conn_threads_;
+  std::thread accept_thread_;
+};
+
+/// Blocking line-oriented client for the --connect mode and the smoke
+/// tests.
+class Client {
+ public:
+  ~Client();
+
+  bool connect(const std::string& host, std::uint16_t port,
+               std::string& error);
+  /// Send one request line (newline appended) and read one response line.
+  bool roundtrip(const std::string& request_line, std::string& response_line,
+                 std::string& error);
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::string rx_buffer_;
+};
+
+/// Parse "HOST:PORT" (host may be empty → 127.0.0.1).
+bool parse_endpoint(std::string_view spec, std::string& host,
+                    std::uint16_t& port);
+
+}  // namespace aadlsched::server

@@ -1,0 +1,81 @@
+// Bounded LRU map: the in-memory tier of the analysis-result cache
+// (src/server/cache.hpp) and generally useful for memoizing expensive
+// derived values with a recency eviction policy.
+//
+// Classic list+map construction: a doubly-linked recency list holds the
+// (key, value) pairs, the hash map points at list iterators (stable under
+// splice). Not thread-safe by design — callers that share an LruCache hold
+// their own lock, which they need anyway to make compound operations
+// (lookup-then-insert) atomic.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+namespace aadlsched::util {
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class LruCache {
+ public:
+  /// `capacity` == 0 disables storage entirely (every put is dropped, every
+  /// get misses) so a cache-less configuration needs no branching upstream.
+  explicit LruCache(std::size_t capacity) : capacity_(capacity) {}
+
+  std::size_t size() const { return map_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t evictions() const { return evictions_; }
+
+  /// Copy of the value, promoting the entry to most-recently-used.
+  std::optional<Value> get(const Key& key) {
+    const auto it = map_.find(key);
+    if (it == map_.end()) return std::nullopt;
+    order_.splice(order_.begin(), order_, it->second);
+    return it->second->second;
+  }
+
+  /// Read-only probe without a recency update (for stats / tests).
+  const Value* peek(const Key& key) const {
+    const auto it = map_.find(key);
+    return it == map_.end() ? nullptr : &it->second->second;
+  }
+
+  bool contains(const Key& key) const { return map_.count(key) != 0; }
+
+  /// Insert or overwrite; the entry becomes most-recently-used. Evicts the
+  /// least-recently-used entry when over capacity.
+  void put(const Key& key, Value value) {
+    if (capacity_ == 0) return;
+    const auto it = map_.find(key);
+    if (it != map_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    order_.emplace_front(key, std::move(value));
+    map_.emplace(key, order_.begin());
+    if (map_.size() > capacity_) {
+      map_.erase(order_.back().first);
+      order_.pop_back();
+      ++evictions_;
+    }
+  }
+
+  void clear() {
+    map_.clear();
+    order_.clear();
+  }
+
+ private:
+  std::size_t capacity_;
+  std::uint64_t evictions_ = 0;
+  std::list<std::pair<Key, Value>> order_;  // front = most recent
+  std::unordered_map<Key, typename std::list<std::pair<Key, Value>>::iterator,
+                     Hash>
+      map_;
+};
+
+}  // namespace aadlsched::util

@@ -1,0 +1,224 @@
+// aadl::instance_fingerprint — the cache key of the analysis service
+// (DESIGN.md §11). Two sources that instantiate to the same system must
+// hash identically, whatever the author did to the text: the fuzz tests
+// permute declaration order, inject comments and blank lines over seeded
+// randomness and demand a stable fingerprint; the semantic tests flip one
+// timing value and demand a different one. A collision here silently
+// serves the wrong verdict, so this is the test with the fuzz budget.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "aadl/fingerprint.hpp"
+#include "aadl/instance.hpp"
+#include "aadl/parser.hpp"
+
+namespace {
+
+using namespace aadlsched;
+
+std::string slurp(const std::string& name) {
+  std::ifstream in(std::string(AADLSCHED_MODELS_DIR) + "/" + name);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+aadl::Fingerprint fingerprint_of(const std::string& text,
+                                 const std::string& root) {
+  util::DiagnosticEngine diags("fp.aadl");
+  aadl::Model model;
+  EXPECT_TRUE(aadl::parse_aadl(model, text, diags)) << diags.render_all();
+  auto inst = aadl::instantiate(model, root, diags);
+  EXPECT_TRUE(inst && !diags.has_errors()) << diags.render_all();
+  return aadl::instance_fingerprint(*inst);
+}
+
+// --- text mutators (syntactic no-ops) ----------------------------------
+
+bool is_decl_start(const std::string& line) {
+  static const char* kw[] = {"bus ",    "processor ", "device ", "memory ",
+                             "thread ", "process ",   "system "};
+  if (line.size() < 3 || line[0] != ' ' || line[1] != ' ' || line[2] == ' ')
+    return false;
+  const std::string body = line.substr(2);
+  return std::any_of(std::begin(kw), std::end(kw), [&](const char* k) {
+    return body.rfind(k, 0) == 0;
+  });
+}
+
+/// Split the package body into top-level declaration blocks (keyword line
+/// through its matching "  end X;"), shuffle them, and reassemble.
+/// Declaration order carries no meaning in AADL, so the fingerprint must
+/// not see this.
+std::string shuffle_declarations(const std::string& text, std::uint32_t seed) {
+  std::istringstream in(text);
+  std::vector<std::string> prefix, suffix;
+  std::vector<std::vector<std::string>> blocks;
+  std::string line;
+  enum { Prefix, Body, Suffix } where = Prefix;
+  while (std::getline(in, line)) {
+    if (where == Prefix) {
+      prefix.push_back(line);
+      if (line.rfind("public", 0) == 0) where = Body;
+      continue;
+    }
+    if (where == Body && line.rfind("end ", 0) == 0) where = Suffix;
+    if (where == Suffix) {
+      suffix.push_back(line);
+      continue;
+    }
+    if (is_decl_start(line)) {
+      blocks.emplace_back();
+      blocks.back().push_back(line);
+    } else if (!blocks.empty() &&
+               blocks.back().back().rfind("  end ", 0) != 0) {
+      blocks.back().push_back(line);  // inside an open block
+    }
+    // comment/blank lines between blocks are dropped — also a no-op
+  }
+  std::mt19937 rng(seed);
+  std::shuffle(blocks.begin(), blocks.end(), rng);
+  std::ostringstream out;
+  for (const auto& l : prefix) out << l << "\n";
+  for (const auto& b : blocks) {
+    out << "\n";
+    for (const auto& l : b) out << l << "\n";
+  }
+  out << "\n";
+  for (const auto& l : suffix) out << l << "\n";
+  return out.str();
+}
+
+/// Sprinkle comments, blank lines and trailing whitespace over the text —
+/// every one lexically invisible.
+std::string add_noise(const std::string& text, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::istringstream in(text);
+  std::ostringstream out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (rng() % 4 == 0) out << "  -- noise " << rng() % 1000 << "\n";
+    out << line;
+    if (rng() % 3 == 0) out << "   -- trailing note";
+    out << "\n";
+    if (rng() % 5 == 0) out << "\n";
+  }
+  return out.str();
+}
+
+struct ExampleModel {
+  const char* file;
+  const char* root;
+};
+
+constexpr ExampleModel kModels[] = {
+    {"cruise_control.aadl", "CruiseControlSystem.impl"},
+    {"avionics.aadl", "Avionics.impl"},
+    {"storm.aadl", "Storm.impl"},
+};
+
+// --- tests --------------------------------------------------------------
+
+TEST(Fingerprint, StableAcrossRuns) {
+  for (const ExampleModel& m : kModels) {
+    const std::string text = slurp(m.file);
+    const auto a = fingerprint_of(text, m.root);
+    const auto b = fingerprint_of(text, m.root);
+    EXPECT_EQ(a.hex(), b.hex()) << m.file;
+    EXPECT_EQ(a.hex().size(), 32u);
+  }
+}
+
+TEST(Fingerprint, DistinctModelsDistinctFingerprints) {
+  std::vector<std::string> seen;
+  for (const ExampleModel& m : kModels)
+    seen.push_back(fingerprint_of(slurp(m.file), m.root).hex());
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(std::unique(seen.begin(), seen.end()), seen.end());
+}
+
+TEST(Fingerprint, InvariantUnderDeclarationShuffle) {
+  for (const ExampleModel& m : kModels) {
+    const std::string text = slurp(m.file);
+    const std::string base = fingerprint_of(text, m.root).hex();
+    for (std::uint32_t seed = 1; seed <= 8; ++seed) {
+      const std::string shuffled = shuffle_declarations(text, seed);
+      EXPECT_EQ(fingerprint_of(shuffled, m.root).hex(), base)
+          << m.file << " seed " << seed;
+    }
+  }
+}
+
+TEST(Fingerprint, InvariantUnderCommentAndWhitespaceNoise) {
+  for (const ExampleModel& m : kModels) {
+    const std::string text = slurp(m.file);
+    const std::string base = fingerprint_of(text, m.root).hex();
+    for (std::uint32_t seed = 1; seed <= 8; ++seed) {
+      EXPECT_EQ(fingerprint_of(add_noise(text, seed), m.root).hex(), base)
+          << m.file << " seed " << seed;
+    }
+  }
+}
+
+TEST(Fingerprint, InvariantUnderCombinedMutation) {
+  for (const ExampleModel& m : kModels) {
+    const std::string text = slurp(m.file);
+    const std::string base = fingerprint_of(text, m.root).hex();
+    for (std::uint32_t seed = 100; seed < 104; ++seed) {
+      const std::string mutated =
+          add_noise(shuffle_declarations(text, seed), seed);
+      EXPECT_EQ(fingerprint_of(mutated, m.root).hex(), base)
+          << m.file << " seed " << seed;
+    }
+  }
+}
+
+/// One replaced substring with real timing impact must move the hash.
+void expect_changed(const std::string& text, const std::string& root,
+                    const std::string& from, const std::string& to) {
+  const std::string base = fingerprint_of(text, root).hex();
+  std::string edited = text;
+  const auto pos = edited.find(from);
+  ASSERT_NE(pos, std::string::npos) << from;
+  edited.replace(pos, from.size(), to);
+  EXPECT_NE(fingerprint_of(edited, root).hex(), base)
+      << "'" << from << "' -> '" << to << "' was invisible";
+}
+
+TEST(Fingerprint, SemanticEditsChangeFingerprint) {
+  const std::string text = slurp("cruise_control.aadl");
+  const std::string root = "CruiseControlSystem.impl";
+  expect_changed(text, root, "Period => 100 ms", "Period => 101 ms");
+  expect_changed(text, root, "Compute_Execution_Time => 10 ms .. 20 ms",
+                 "Compute_Execution_Time => 10 ms .. 25 ms");
+  expect_changed(text, root, "Deadline => 50 ms", "Deadline => 45 ms");
+  // Adding a subcomponent is a structural change.
+  expect_changed(text, root, "cruise1 : thread Cruise1.impl;",
+                 "cruise1 : thread Cruise1.impl;\n"
+                 "    cruise3 : thread Cruise2.impl;");
+  // Rebinding a connection off the bus changes contention.
+  expect_changed(text, root,
+                 "Actual_Connection_Binding => reference (vme) applies to "
+                 "c_mode;",
+                 "");
+}
+
+TEST(Fingerprint, CanonicalTextIsVersioned) {
+  util::DiagnosticEngine diags("fp.aadl");
+  aadl::Model model;
+  ASSERT_TRUE(aadl::parse_aadl(model, slurp("cruise_control.aadl"), diags));
+  auto inst = aadl::instantiate(model, "CruiseControlSystem.impl", diags);
+  ASSERT_TRUE(inst && !diags.has_errors());
+  const std::string canon = aadl::canonical_instance_text(*inst);
+  EXPECT_NE(canon.find("aadlsched-instance-v1"), std::string::npos);
+  // Canonical text is itself deterministic.
+  EXPECT_EQ(canon, aadl::canonical_instance_text(*inst));
+}
+
+}  // namespace

@@ -1,0 +1,161 @@
+// util/json.hpp and util/lru_cache.hpp — the service layer's two generic
+// building blocks. The parser/writer pair must round-trip everything the
+// protocol puts on the wire; the LRU must evict exactly the
+// least-recently-used entry (the cache-tier guarantees in DESIGN.md §11
+// stand on these).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/json.hpp"
+#include "util/lru_cache.hpp"
+
+namespace {
+
+using aadlsched::util::JsonValue;
+using aadlsched::util::JsonWriter;
+using aadlsched::util::LruCache;
+using aadlsched::util::parse_json;
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(parse_json("null")->is_null());
+  EXPECT_EQ(parse_json("true")->as_bool(), true);
+  EXPECT_EQ(parse_json("false")->as_bool(true), false);
+  EXPECT_EQ(parse_json("42")->as_int(), 42);
+  EXPECT_EQ(parse_json("-7")->as_int(), -7);
+  EXPECT_TRUE(parse_json("42")->is_int());
+  EXPECT_TRUE(parse_json("42.5")->is_double());
+  EXPECT_DOUBLE_EQ(parse_json("42.5")->as_double(), 42.5);
+  EXPECT_DOUBLE_EQ(parse_json("1e3")->as_double(), 1000.0);
+  EXPECT_EQ(parse_json("\"hi\"")->as_string(), "hi");
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(parse_json(R"("a\"b\\c\nd\te")")->as_string(), "a\"b\\c\nd\te");
+  // BMP \uXXXX escapes decode to UTF-8; raw UTF-8 passes through verbatim.
+  EXPECT_EQ(parse_json("\"\\u00e9\"")->as_string(), "\xc3\xa9");
+  EXPECT_EQ(parse_json("\"\\u0041\"")->as_string(), "A");
+  EXPECT_EQ(parse_json("\"\xc3\xa9\"")->as_string(), "\xc3\xa9");
+}
+
+TEST(JsonParse, NestedStructure) {
+  const auto v = parse_json(
+      R"({"a": [1, 2, {"b": true}], "c": {"d": null}, "e": "x"})");
+  ASSERT_TRUE(v && v->is_object());
+  const auto& arr = v->get("a")->as_array();
+  ASSERT_EQ(arr.size(), 3u);
+  EXPECT_EQ(arr[1].as_int(), 2);
+  EXPECT_TRUE(arr[2].get("b")->as_bool());
+  EXPECT_TRUE(v->get("c")->get("d")->is_null());
+  EXPECT_EQ(v->get("missing"), nullptr);
+  EXPECT_EQ(v->get("e")->get("not_an_object"), nullptr);
+}
+
+TEST(JsonParse, RejectsMalformed) {
+  std::string err;
+  EXPECT_FALSE(parse_json("", &err));
+  EXPECT_FALSE(parse_json("{", &err));
+  EXPECT_FALSE(parse_json("{\"a\": }", &err));
+  EXPECT_FALSE(parse_json("[1, 2,]", &err));
+  EXPECT_FALSE(parse_json("nul", &err));
+  EXPECT_FALSE(parse_json("\"unterminated", &err));
+  // Trailing garbage is an error, not silently ignored.
+  EXPECT_FALSE(parse_json("{} x", &err));
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(JsonParse, DepthLimited) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  std::string err;
+  EXPECT_FALSE(parse_json(deep, &err));
+  EXPECT_NE(err.find("too deep"), std::string::npos) << err;
+}
+
+TEST(JsonWriter, CommasAndNesting) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("a").value(1);
+  w.key("b").begin_array();
+  w.value("x").value(true).null();
+  w.end_array();
+  w.key("c").begin_object().end_object();
+  w.end_object();
+  EXPECT_EQ(std::move(w).str(),
+            "{\"a\": 1, \"b\": [\"x\", true, null], \"c\": {}}");
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("k").value("a\"b\\c\nd");
+  w.end_object();
+  EXPECT_EQ(std::move(w).str(), "{\"k\": \"a\\\"b\\\\c\\nd\"}");
+}
+
+TEST(JsonWriter, RawSplicesVerbatim) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("n").value(std::uint64_t{1});
+  w.key("result").raw(R"({"outcome": "schedulable"})");
+  w.end_object();
+  EXPECT_EQ(std::move(w).str(),
+            "{\"n\": 1, \"result\": {\"outcome\": \"schedulable\"}}");
+}
+
+TEST(JsonWriter, OutputReparses) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("pi").value(3.25);
+  w.key("big").value(std::uint64_t{9'000'000'000ull});
+  w.key("neg").value(std::int64_t{-12});
+  w.end_object();
+  const auto v = parse_json(w.str());
+  ASSERT_TRUE(v);
+  EXPECT_DOUBLE_EQ(v->get("pi")->as_double(), 3.25);
+  EXPECT_EQ(v->get("big")->as_int(), 9'000'000'000ll);
+  EXPECT_EQ(v->get("neg")->as_int(), -12);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruCache<int, std::string> c(2);
+  c.put(1, "one");
+  c.put(2, "two");
+  EXPECT_EQ(c.get(1), "one");  // promotes 1; 2 is now LRU
+  c.put(3, "three");
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.evictions(), 1u);
+  EXPECT_FALSE(c.contains(2));
+  EXPECT_TRUE(c.contains(1));
+  EXPECT_TRUE(c.contains(3));
+}
+
+TEST(LruCacheTest, PutOverwritesAndPromotes) {
+  LruCache<int, int> c(2);
+  c.put(1, 10);
+  c.put(2, 20);
+  c.put(1, 11);  // overwrite promotes; 2 becomes LRU
+  c.put(3, 30);
+  EXPECT_FALSE(c.contains(2));
+  EXPECT_EQ(c.get(1), 11);
+}
+
+TEST(LruCacheTest, PeekDoesNotPromote) {
+  LruCache<int, int> c(2);
+  c.put(1, 10);
+  c.put(2, 20);
+  ASSERT_NE(c.peek(1), nullptr);  // no recency update: 1 stays LRU
+  c.put(3, 30);
+  EXPECT_FALSE(c.contains(1));
+  EXPECT_TRUE(c.contains(2));
+}
+
+TEST(LruCacheTest, ZeroCapacityIsDisabled) {
+  LruCache<int, int> c(0);
+  c.put(1, 10);
+  EXPECT_EQ(c.size(), 0u);
+  EXPECT_FALSE(c.get(1).has_value());
+  EXPECT_EQ(c.evictions(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,435 @@
+// server::Service — the in-process analysis service behind aadlschedd
+// (DESIGN.md §11): cache hit/miss behavior, the conclusive-only caching
+// policy, the disk tier across a "restart", request coalescing, admission
+// order, protocol round trips, and a multi-threaded mixed workload whose
+// stats must stay monotonic. The concurrent tests run under the tsan ctest
+// label.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/service.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using namespace aadlsched;
+using server::Op;
+using server::Request;
+using server::Response;
+using server::Service;
+using server::ServiceConfig;
+
+// --- fixtures -----------------------------------------------------------
+
+/// Minimal one-thread system; compute/period/deadline in ms decide the
+/// verdict (2/10/10 schedulable, 12/10/10 not).
+std::string tiny_model(int compute_ms, int period_ms, int deadline_ms) {
+  std::ostringstream os;
+  os << "package Tiny\npublic\n"
+     << "  processor CPU\n  properties\n"
+     << "    Scheduling_Protocol => RATE_MONOTONIC_PROTOCOL;\n  end CPU;\n"
+     << "  thread T\n  end T;\n"
+     << "  thread implementation T.impl\n  properties\n"
+     << "    Dispatch_Protocol => Periodic;\n"
+     << "    Period => " << period_ms << " ms;\n"
+     << "    Compute_Execution_Time => " << compute_ms << " ms .. "
+     << compute_ms << " ms;\n"
+     << "    Deadline => " << deadline_ms << " ms;\n  end T.impl;\n"
+     << "  system App\n  end App;\n"
+     << "  system implementation App.impl\n  subcomponents\n"
+     << "    t : thread T.impl;\n  end App.impl;\n"
+     << "  system Root\n  end Root;\n"
+     << "  system implementation Root.impl\n  subcomponents\n"
+     << "    app : system App.impl;\n    cpu : processor CPU;\n"
+     << "  properties\n"
+     << "    Actual_Processor_Binding => reference (cpu) applies to app;\n"
+     << "  end Root.impl;\nend Tiny;\n";
+  return os.str();
+}
+
+std::string storm_text() {
+  std::ifstream in(std::string(AADLSCHED_MODELS_DIR) + "/storm.aadl");
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+Request analyze(const std::string& model, const std::string& id = "",
+                const std::string& root = "Root.impl") {
+  Request req;
+  req.op = Op::Analyze;
+  req.model = model;
+  req.root = root;
+  req.id = id;
+  req.options.run_lint = false;
+  return req;
+}
+
+util::JsonValue stats_of(Service& svc) {
+  auto v = util::parse_json(svc.stats_json());
+  EXPECT_TRUE(v.has_value());
+  return v ? *v : util::JsonValue();
+}
+
+std::int64_t stat(const util::JsonValue& s, const char* a,
+                  const char* b = nullptr) {
+  const util::JsonValue* v = s.get(a);
+  if (v && b) v = v->get(b);
+  return v ? v->as_int(-1) : -1;
+}
+
+// --- cache behavior -----------------------------------------------------
+
+TEST(Service, SecondSubmitIsAMemoryHit) {
+  Service svc;
+  const Request req = analyze(tiny_model(2, 10, 10), "r1");
+
+  const Response cold = svc.handle(req);
+  ASSERT_TRUE(cold.ok) << cold.error;
+  EXPECT_EQ(cold.outcome, core::Outcome::Schedulable);
+  EXPECT_FALSE(cold.cached);
+  EXPECT_EQ(cold.id, "r1");
+  EXPECT_EQ(cold.fingerprint.size(), 32u);
+  EXPECT_NE(cold.result_json.find("\"schema_version\""), std::string::npos);
+
+  const Response warm = svc.handle(req);
+  ASSERT_TRUE(warm.ok);
+  EXPECT_TRUE(warm.cached);
+  EXPECT_EQ(warm.cache_tier, "memory");
+  EXPECT_EQ(warm.fingerprint, cold.fingerprint);
+  // The acceptance bar: a cache hit returns the stored bytes verbatim.
+  EXPECT_EQ(warm.result_json, cold.result_json);
+
+  const auto s = stats_of(svc);
+  EXPECT_EQ(stat(s, "analyses_run"), 1);
+  EXPECT_EQ(stat(s, "cache", "hits_memory"), 1);
+  EXPECT_EQ(stat(s, "cache", "misses"), 1);
+  EXPECT_EQ(stat(s, "cache", "stores"), 1);
+  EXPECT_EQ(stat(s, "cache", "entries"), 1);
+  EXPECT_EQ(stat(s, "outcomes", "schedulable"), 2);
+}
+
+TEST(Service, NoCacheBypassesLookupAndStore) {
+  Service svc;
+  Request req = analyze(tiny_model(2, 10, 10));
+  req.no_cache = true;
+  EXPECT_FALSE(svc.handle(req).cached);
+  EXPECT_FALSE(svc.handle(req).cached);
+  const auto s = stats_of(svc);
+  EXPECT_EQ(stat(s, "analyses_run"), 2);
+  EXPECT_EQ(stat(s, "cache", "stores"), 0);
+  EXPECT_EQ(stat(s, "cache", "entries"), 0);
+}
+
+TEST(Service, SemanticOptionsSplitTheKey) {
+  Service svc;
+  Request req = analyze(tiny_model(2, 10, 10));
+  const Response a = svc.handle(req);
+  req.options.quantum_ns = 2'000'000;  // different quantum, different verdict space
+  const Response b = svc.handle(req);
+  EXPECT_FALSE(b.cached);  // same model text, distinct cache entry
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(stat(stats_of(svc), "cache", "entries"), 2);
+}
+
+TEST(Service, InconclusiveOutcomesAreNeverCached) {
+  Service svc;
+  Request req = analyze(storm_text(), "", "Storm.impl");
+  req.options.max_states = 200;  // storm cannot conclude in 200 states
+  const Response first = svc.handle(req);
+  ASSERT_TRUE(first.ok);
+  EXPECT_EQ(first.outcome, core::Outcome::Inconclusive);
+  EXPECT_NE(first.result_json.find("\"stop_reason\""), std::string::npos);
+  const Response second = svc.handle(req);
+  EXPECT_FALSE(second.cached);  // a truncated run is budget-dependent
+  const auto s = stats_of(svc);
+  EXPECT_EQ(stat(s, "analyses_run"), 2);
+  EXPECT_EQ(stat(s, "cache", "stores"), 0);
+  EXPECT_EQ(stat(s, "outcomes", "inconclusive"), 2);
+}
+
+TEST(Service, FrontEndErrorIsImmediateAndUncached) {
+  Service svc;
+  const Response resp = svc.handle(analyze("this is not aadl"));
+  ASSERT_TRUE(resp.ok);  // protocol-level success; analysis outcome is Error
+  EXPECT_EQ(resp.outcome, core::Outcome::Error);
+  EXPECT_NE(resp.result_json.find("\"error\""), std::string::npos);
+  const auto s = stats_of(svc);
+  EXPECT_EQ(stat(s, "analyses_run"), 0);  // never reached a worker
+  EXPECT_EQ(stat(s, "outcomes", "error"), 1);
+}
+
+TEST(Service, DiskTierSurvivesRestart) {
+  char tmpl[] = "/tmp/aadlsched_cache_XXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl), nullptr);
+  const std::string dir = tmpl;
+
+  ServiceConfig cfg;
+  cfg.cache.disk_dir = dir;
+  std::string cold_json, fingerprint;
+  {
+    Service first(cfg);
+    const Response cold = first.handle(analyze(tiny_model(2, 10, 10)));
+    ASSERT_TRUE(cold.ok);
+    EXPECT_FALSE(cold.cached);
+    cold_json = cold.result_json;
+    fingerprint = cold.fingerprint;
+  }  // "daemon restart"
+
+  Service second(cfg);
+  const Response warm = second.handle(analyze(tiny_model(2, 10, 10)));
+  ASSERT_TRUE(warm.ok);
+  EXPECT_TRUE(warm.cached);
+  EXPECT_EQ(warm.cache_tier, "disk");
+  EXPECT_EQ(warm.fingerprint, fingerprint);
+  EXPECT_EQ(warm.result_json, cold_json);  // byte-identical across restarts
+  const auto s = stats_of(second);
+  EXPECT_EQ(stat(s, "analyses_run"), 0);
+  EXPECT_EQ(stat(s, "cache", "hits_disk"), 1);
+
+  // A disk hit is promoted into the memory tier.
+  EXPECT_EQ(second.handle(analyze(tiny_model(2, 10, 10))).cache_tier,
+            "memory");
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Service, IdenticalInFlightRequestsCoalesce) {
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  Service svc(cfg);
+
+  // Occupy the single worker with a big (bounded) storm run, then submit
+  // the same tiny model twice. Whatever the timing, the tiny exploration
+  // must run exactly once: the duplicate either coalesces onto the
+  // in-flight job or hits the cache the first run stored.
+  Request blocker = analyze(storm_text(), "", "Storm.impl");
+  blocker.options.max_states = 20'000;
+  auto f0 = svc.submit(blocker);
+  auto f1 = svc.submit(analyze(tiny_model(2, 10, 10), "a"));
+  auto f2 = svc.submit(analyze(tiny_model(2, 10, 10), "b"));
+
+  const Response r0 = f0.get(), r1 = f1.get(), r2 = f2.get();
+  ASSERT_TRUE(r0.ok && r1.ok && r2.ok);
+  EXPECT_EQ(r1.id, "a");
+  EXPECT_EQ(r2.id, "b");
+  EXPECT_EQ(r1.outcome, core::Outcome::Schedulable);
+  EXPECT_EQ(r1.result_json, r2.result_json);
+  const auto s = stats_of(svc);
+  EXPECT_EQ(stat(s, "analyses_run"), 2);  // storm + ONE tiny run
+  EXPECT_EQ(stat(s, "coalesced") + stat(s, "cache", "hits_memory"), 1);
+}
+
+// --- control ops and the wire loop --------------------------------------
+
+TEST(Service, PingStatsShutdownAnswerInline) {
+  Service svc;
+  Request ping;
+  ping.op = Op::Ping;
+  ping.id = "p";
+  const Response pr = svc.handle(ping);
+  EXPECT_TRUE(pr.ok);
+  EXPECT_EQ(pr.id, "p");
+
+  Request stats;
+  stats.op = Op::Stats;
+  const Response sr = svc.handle(stats);
+  EXPECT_TRUE(sr.ok);
+  EXPECT_TRUE(util::parse_json(sr.stats_json).has_value());
+
+  Request down;
+  down.op = Op::Shutdown;
+  EXPECT_TRUE(svc.handle(down).ok);
+  EXPECT_TRUE(svc.shutting_down());
+  // Analyze after shutdown is refused, not hung.
+  const Response refused = svc.handle(analyze(tiny_model(2, 10, 10)));
+  EXPECT_FALSE(refused.ok);
+  EXPECT_NE(refused.error.find("shutting down"), std::string::npos);
+}
+
+TEST(Service, HandleLineRoundTrip) {
+  Service svc;
+  const std::string line = server::render_request(analyze(tiny_model(2, 10, 10), "w1"));
+  const std::string out = svc.handle_line(line);
+  std::string err;
+  const auto resp = server::parse_response(out, err);
+  ASSERT_TRUE(resp.has_value()) << err;
+  EXPECT_TRUE(resp->ok);
+  EXPECT_EQ(resp->id, "w1");
+  EXPECT_EQ(resp->outcome, core::Outcome::Schedulable);
+  // The embedded result object came through byte-verbatim.
+  EXPECT_EQ(resp->result_json, svc.handle(analyze(tiny_model(2, 10, 10))).result_json);
+}
+
+TEST(Service, MalformedLineIsAProtocolError) {
+  Service svc;
+  const std::string out = svc.handle_line("{not json");
+  std::string err;
+  const auto resp = server::parse_response(out, err);
+  ASSERT_TRUE(resp.has_value()) << err;
+  EXPECT_FALSE(resp->ok);
+  EXPECT_FALSE(resp->error.empty());
+  EXPECT_EQ(stat(stats_of(svc), "protocol_errors"), 1);
+  // The service survives and still serves.
+  EXPECT_TRUE(svc.handle(analyze(tiny_model(2, 10, 10))).ok);
+}
+
+// --- admission policy ---------------------------------------------------
+
+TEST(AdmissionQueue, SmallBurstThenLarge) {
+  server::AdmissionQueue q(2);
+  // s=small tickets 1,2,4,5,7,8; l=large 3,6
+  q.push(1, true);
+  q.push(2, true);
+  q.push(3, false);
+  q.push(4, true);
+  q.push(5, true);
+  q.push(6, false);
+  q.push(7, true);
+  q.push(8, true);
+  std::vector<std::uint64_t> order;
+  while (auto t = q.pop()) order.push_back(*t);
+  // Two smalls per large while a large is waiting; pure-small tail is FIFO.
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{1, 2, 3, 4, 5, 6, 7, 8}));
+}
+
+TEST(AdmissionQueue, PureSmallWorkloadNeverStalls) {
+  server::AdmissionQueue q(2);
+  for (std::uint64_t t = 1; t <= 5; ++t) q.push(t, true);
+  for (std::uint64_t t = 1; t <= 5; ++t) EXPECT_EQ(q.pop(), t);
+  // The all-small prefix must not have consumed the burst: a large arriving
+  // now with fresh smalls still waits at most `burst` of them.
+  q.push(10, false);
+  q.push(11, true);
+  q.push(12, true);
+  q.push(13, true);
+  EXPECT_EQ(q.pop(), 11u);
+  EXPECT_EQ(q.pop(), 12u);
+  EXPECT_EQ(q.pop(), 10u);  // burst spent, large admitted
+  EXPECT_EQ(q.pop(), 13u);
+  EXPECT_EQ(q.pop(), std::nullopt);
+}
+
+TEST(AdmissionQueue, LargeOnlyIsFifo) {
+  server::AdmissionQueue q(4);
+  q.push(1, false);
+  q.push(2, false);
+  EXPECT_EQ(q.pop(), 1u);
+  EXPECT_EQ(q.pop(), 2u);
+}
+
+// --- concurrent mixed workload (tsan label) -----------------------------
+
+TEST(Service, ConcurrentMixedWorkload) {
+  ServiceConfig cfg;
+  cfg.workers = 2;
+  Service svc(cfg);
+
+  const std::string sched = tiny_model(2, 10, 10);
+  const std::string notsched = tiny_model(12, 10, 10);
+  const std::string storm = storm_text();
+
+  constexpr int kThreads = 4;
+  constexpr int kIters = 6;
+  std::atomic<int> wrong{0};
+  std::atomic<bool> sampling{true};
+
+  // Stats sampler: every counter is cumulative and must never decrease,
+  // whatever the worker threads are doing.
+  std::thread sampler([&] {
+    std::int64_t last_requests = 0, last_runs = 0, last_hits = 0,
+                 last_misses = 0;
+    while (sampling.load(std::memory_order_relaxed)) {
+      const auto s = stats_of(svc);
+      const std::int64_t requests = stat(s, "requests");
+      const std::int64_t runs = stat(s, "analyses_run");
+      const std::int64_t hits = stat(s, "cache", "hits_memory");
+      const std::int64_t misses = stat(s, "cache", "misses");
+      if (requests < last_requests || runs < last_runs || hits < last_hits ||
+          misses < last_misses)
+        ++wrong;
+      last_requests = requests;
+      last_runs = runs;
+      last_hits = hits;
+      last_misses = misses;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  std::vector<std::thread> clients;
+  std::atomic<int> lost{0};
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        Request req;
+        core::Outcome expect{};
+        switch ((t + i) % 4) {
+          case 0:
+            req = analyze(sched);
+            expect = core::Outcome::Schedulable;
+            break;
+          case 1:
+            req = analyze(notsched);
+            expect = core::Outcome::NotSchedulable;
+            break;
+          case 2:
+            req = analyze(storm, "", "Storm.impl");
+            req.options.max_states = 300;  // tight budget, always truncated
+            expect = core::Outcome::Inconclusive;
+            break;
+          case 3:
+            req = analyze("garbage!");
+            expect = core::Outcome::Error;
+            break;
+        }
+        req.id = std::to_string(t) + "-" + std::to_string(i);
+        const Response resp = svc.handle(req);
+        if (!resp.ok || resp.id != req.id) ++lost;
+        if (resp.outcome != expect) ++wrong;
+        if (resp.result_json.empty()) ++lost;
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  sampling = false;
+  sampler.join();
+
+  EXPECT_EQ(lost.load(), 0);
+  EXPECT_EQ(wrong.load(), 0);
+
+  const auto s = stats_of(svc);
+  constexpr int kTotal = kThreads * kIters;  // 6 per kind
+  EXPECT_EQ(stat(s, "analyze_requests"), kTotal);
+  EXPECT_EQ(stat(s, "outcomes", "schedulable"), kTotal / 4);
+  EXPECT_EQ(stat(s, "outcomes", "not_schedulable"), kTotal / 4);
+  EXPECT_EQ(stat(s, "outcomes", "inconclusive"), kTotal / 4);
+  EXPECT_EQ(stat(s, "outcomes", "error"), kTotal / 4);
+  // Exact conservation law: every non-error analyze request was served by
+  // exactly one of a cache hit, a coalesced in-flight run, or its own
+  // exploration. No response was lost, none was double-served.
+  EXPECT_EQ(stat(s, "cache", "hits_memory") + stat(s, "coalesced") +
+                stat(s, "analyses_run"),
+            kTotal - kTotal / 4);  // errors never reach the cache or a worker
+  EXPECT_EQ(stat(s, "protocol_errors"), 0);
+  EXPECT_GT(stat(s, "latency", "samples"), 0);
+
+  // Gauges drain once the queue is empty; give the workers a beat.
+  for (int i = 0; i < 200 && (stat(stats_of(svc), "in_flight") != 0 ||
+                              stat(stats_of(svc), "queue_depth") != 0);
+       ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const auto fin = stats_of(svc);
+  EXPECT_EQ(stat(fin, "in_flight"), 0);
+  EXPECT_EQ(stat(fin, "queue_depth"), 0);
+}
+
+}  // namespace

@@ -34,6 +34,15 @@
 //                          0 = clean, 1 = error-severity findings
 //   --lint-format <f>      lint report format: text (default) or json
 //   --no-lint              skip the lint pre-pass before exploration
+//   --json                 print the canonical result object
+//                          (core::render_result_json, DESIGN.md §11)
+//                          instead of the human summary
+//   --connect <host:port>  submit the analysis to a running aadlschedd
+//                          instead of exploring locally; prints the result
+//                          object (implies --json), same exit codes. With
+//                          --stats / --shutdown, query or stop the daemon.
+//   --no-cache             (with --connect) force a fresh exploration,
+//                          bypassing the daemon's result cache
 //
 // SIGINT flips the cooperative CancelToken: the run stops at the next
 // budget check and still prints the partial summary (exit 3). A second
@@ -54,11 +63,15 @@
 #include "acsr/printer.hpp"
 #include "aadl/parser.hpp"
 #include "core/analyzer.hpp"
+#include "core/result_json.hpp"
 #include "core/taskset_extract.hpp"
 #include "lint/lint.hpp"
 #include "sched/analysis.hpp"
 #include "sched/simulator.hpp"
+#include "server/protocol.hpp"
+#include "server/tcp.hpp"
 #include "util/budget.hpp"
+#include "util/json.hpp"
 #include "util/string_utils.hpp"
 #include "versa/sweep.hpp"
 
@@ -73,8 +86,12 @@ int usage() {
       "                 [--late-completion] [--max-states n] [--workers n]\n"
       "                 [--deadline-ms n] [--memory-budget-mb n]\n"
       "                 [--lint] [--lint-format text|json] [--no-lint]\n"
+      "                 [--json]\n"
       "       aadlsched --batch <list> [--batch-workers n] [--keep-going]\n"
-      "                 [--report file] [common options]\n";
+      "                 [--report file] [common options]\n"
+      "       aadlsched --connect <host:port> <model.aadl>... <Root.impl>\n"
+      "                 [--no-cache] [common options]\n"
+      "       aadlsched --connect <host:port> --stats | --shutdown\n";
   return 2;
 }
 
@@ -197,6 +214,10 @@ core::AnalysisResult analyze_entry(const BatchEntry& entry,
   return result;
 }
 
+/// The report is a wrapper around per-model canonical result objects: each
+/// entry is "files"/"root" plus exactly the fields `aadlsched --json` and
+/// the daemon emit (core::append_result_fields — one serializer, three
+/// surfaces).
 std::string render_batch_json(const std::vector<BatchEntry>& entries,
                               const std::vector<core::AnalysisResult>& results,
                               bool keep_going, int exit_code) {
@@ -207,20 +228,15 @@ std::string render_batch_json(const std::vector<BatchEntry>& entries,
     const core::AnalysisResult& r = results[i];
     ++counts[static_cast<std::size_t>(r.outcome)];
     os << (i ? ",\n    " : "\n    ");
-    os << "{\"files\": [";
-    for (std::size_t f = 0; f < entries[i].files.size(); ++f)
-      os << (f ? ", " : "") << '"' << util::json_escape(entries[i].files[f])
-         << '"';
-    os << "], \"root\": \"" << util::json_escape(entries[i].root) << "\", ";
-    os << "\"outcome\": \"" << core::to_string(r.outcome) << "\", ";
-    os << "\"stop_reason\": \"" << util::to_string(r.stop_reason) << "\", ";
-    os << "\"states\": " << r.states << ", \"transitions\": "
-       << r.transitions << ", \"depth\": " << r.depth << ", ";
-    os << "\"trace_dropped\": " << (r.trace_dropped ? "true" : "false")
-       << ", \"explore_ms\": " << r.explore_ms;
-    if (r.outcome == core::Outcome::Error)
-      os << ", \"error\": \"" << util::json_escape(r.diagnostics) << '"';
-    os << '}';
+    util::JsonWriter w;
+    w.begin_object();
+    w.key("files").begin_array();
+    for (const std::string& f : entries[i].files) w.value(f);
+    w.end_array();
+    w.key("root").value(entries[i].root);
+    core::append_result_fields(w, r);
+    w.end_object();
+    os << std::move(w).str();
   }
   os << (entries.empty() ? "]" : "\n  ]") << ",\n";
   os << "  \"totals\": {\"schedulable\": "
@@ -234,6 +250,97 @@ std::string render_batch_json(const std::vector<BatchEntry>& entries,
   os << "  \"keep_going\": " << (keep_going ? "true" : "false") << ",\n";
   os << "  \"exit_code\": " << exit_code << "\n}\n";
   return os.str();
+}
+
+// --- client mode (--connect) --------------------------------------------
+
+server::RequestOptions to_request_options(const core::AnalyzerOptions& opts) {
+  server::RequestOptions ro;
+  ro.quantum_ns = opts.translation.quantum_ns;
+  ro.max_states = opts.exploration.max_states;
+  ro.deadline_ms = opts.exploration.budget.deadline_ms;
+  ro.memory_budget_mb = opts.exploration.budget.memory_bytes / (1024 * 1024);
+  ro.workers = opts.parallel.workers;
+  ro.run_lint = opts.run_lint;
+  ro.late_completion = opts.translation.time_model ==
+                       translate::ExecutionTimeModel::LateCompletion;
+  return ro;
+}
+
+/// Submit the analysis to a running aadlschedd. The daemon returns the
+/// canonical result object verbatim, so output and exit codes match a
+/// local `aadlsched --json` run byte for byte.
+int run_connect(const std::string& endpoint,
+                const std::vector<std::string>& files, const std::string& root,
+                const core::AnalyzerOptions& opts, bool no_cache,
+                bool want_stats, bool want_shutdown) {
+  std::string host;
+  std::uint16_t port = 0;
+  if (!server::parse_endpoint(endpoint, host, port)) {
+    std::cerr << "invalid --connect endpoint '" << endpoint
+              << "' (expected HOST:PORT)\n";
+    return 2;
+  }
+
+  server::Request req;
+  if (want_stats) {
+    req.op = server::Op::Stats;
+  } else if (want_shutdown) {
+    req.op = server::Op::Shutdown;
+  } else {
+    req.op = server::Op::Analyze;
+    req.root = root;
+    req.no_cache = no_cache;
+    req.options = to_request_options(opts);
+    // The daemon parses one text; AADL packages concatenate cleanly, so a
+    // multi-file model becomes one request body.
+    for (const std::string& f : files) {
+      const auto text = read_file(f);
+      if (!text) {
+        std::cerr << "cannot open '" << f << "'\n";
+        return 2;
+      }
+      req.model += *text;
+      if (!req.model.empty() && req.model.back() != '\n') req.model += '\n';
+    }
+  }
+
+  server::Client client;
+  std::string error;
+  if (!client.connect(host, port, error)) {
+    std::cerr << "cannot connect to " << host << ":" << port << ": " << error
+              << "\n";
+    return 2;
+  }
+  std::string line;
+  if (!client.roundtrip(server::render_request(req), line, error)) {
+    std::cerr << "daemon request failed: " << error << "\n";
+    return 2;
+  }
+  const auto resp = server::parse_response(line, error);
+  if (!resp) {
+    std::cerr << "malformed daemon response: " << error << "\n";
+    return 2;
+  }
+  if (!resp->ok) {
+    std::cerr << "daemon error: " << resp->error << "\n";
+    return 2;
+  }
+
+  if (want_stats) {
+    std::cout << resp->stats_json << "\n";
+    return 0;
+  }
+  if (want_shutdown) {
+    std::cout << "daemon shutdown requested\n";
+    return 0;
+  }
+  std::cerr << "served in " << resp->served_ms << " ms ("
+            << (resp->cached ? ("cached: " + resp->cache_tier)
+                             : std::string("explored"))
+            << ", fingerprint " << resp->fingerprint << ")\n";
+  std::cout << resp->result_json << "\n";
+  return exit_code_for(resp->outcome);
 }
 
 int run_batch(const std::string& list_path, std::size_t batch_workers,
@@ -304,6 +411,11 @@ int main(int argc, char** argv) {
   std::string report_path;
   std::size_t batch_workers = 1;
   bool keep_going = false;
+  bool json_out = false;
+  std::string connect_endpoint;
+  bool connect_stats = false;
+  bool connect_shutdown = false;
+  bool no_cache = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -356,6 +468,16 @@ int main(int argc, char** argv) {
       if (!ms) return usage();
       spec.max_latency_ns = *ms * 1'000'000;
       opts.translation.latency_specs.push_back(std::move(spec));
+    } else if (arg == "--json") {
+      json_out = true;
+    } else if (arg == "--connect" && i + 1 < argc) {
+      connect_endpoint = argv[++i];
+    } else if (arg == "--stats") {
+      connect_stats = true;
+    } else if (arg == "--shutdown") {
+      connect_shutdown = true;
+    } else if (arg == "--no-cache") {
+      no_cache = true;
     } else if (arg == "--lint") {
       lint_only = true;
     } else if (arg == "--no-lint") {
@@ -384,6 +506,24 @@ int main(int argc, char** argv) {
   // check, so ^C yields the partial summary instead of discarding work.
   opts.exploration.budget.cancel = &g_cancel;
   std::signal(SIGINT, on_sigint);
+
+  if (!connect_endpoint.empty()) {
+    if (!batch_list.empty()) {
+      std::cerr << "--connect and --batch are mutually exclusive\n";
+      return usage();
+    }
+    if (connect_stats || connect_shutdown) {
+      if (!files.empty() || !root.empty()) return usage();
+    } else if (files.empty() || root.empty()) {
+      return usage();
+    }
+    return run_connect(connect_endpoint, files, root, opts, no_cache,
+                       connect_stats, connect_shutdown);
+  }
+  if (connect_stats || connect_shutdown || no_cache) {
+    std::cerr << "--stats/--shutdown/--no-cache require --connect\n";
+    return usage();
+  }
 
   if (!batch_list.empty()) {
     if (!files.empty() || !root.empty()) {
@@ -486,6 +626,9 @@ int main(int argc, char** argv) {
 
   const core::AnalysisResult result = core::analyze_instance(*instance, opts);
   if (!result.diagnostics.empty()) std::cerr << result.diagnostics;
-  std::cout << result.summary() << "\n";
+  if (json_out)
+    std::cout << core::render_result_json(result) << "\n";
+  else
+    std::cout << result.summary() << "\n";
   return exit_code_for(result.outcome);
 }
