@@ -1,0 +1,166 @@
+// Warm re-exploration experiment (DESIGN.md §12, EXPERIMENTS.md E10): what
+// does resuming a budget-bound run from a checkpoint buy over re-exploring
+// cold? The table bounds cruise_control, resumes it, and compares the
+// resumed wall-clock against a cold full run (the resumed run must also
+// reach the identical verdict and state count — determinism is asserted,
+// not assumed). The BM_ timings cover the checkpoint mechanics themselves:
+// serialize, digest-verified parse, and a resumed vs cold exploration.
+#include <chrono>
+#include <fstream>
+#include <sstream>
+
+#include "bench_common.hpp"
+#include "versa/checkpoint.hpp"
+
+namespace {
+
+using namespace aadlsched;
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+const std::string& cruise_text() {
+  static const std::string text =
+      slurp(std::string(AADLSCHED_MODELS_DIR) + "/cruise_control.aadl");
+  return text;
+}
+
+const std::string& avionics_text() {
+  static const std::string text =
+      slurp(std::string(AADLSCHED_MODELS_DIR) + "/avionics.aadl");
+  return text;
+}
+
+core::AnalyzerOptions base_options() {
+  core::AnalyzerOptions opts;
+  opts.run_lint = false;  // measure exploration, not the static screen
+  opts.translation.quantum_ns = 1'000'000;  // the CLI's 1 ms default
+  return opts;
+}
+
+double run_ms(const std::string& model, const char* root,
+              const core::AnalyzerOptions& opts, core::AnalysisResult* out) {
+  const auto t0 = std::chrono::steady_clock::now();
+  core::AnalysisResult r = core::analyze_source(model, root, opts);
+  const auto t1 = std::chrono::steady_clock::now();
+  if (out) *out = std::move(r);
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+void print_table() {
+  bench::print_header(
+      "warm re-exploration: cold full run vs checkpoint + resume",
+      "resuming a budget-bound run re-explores only the remaining space, "
+      "so bound_ms + resume_ms ~= cold_ms and resume_ms < cold_ms");
+
+  const char* root = "CruiseControlSystem.impl";
+  core::AnalysisResult cold_r;
+  const double cold = run_ms(cruise_text(), root, base_options(), &cold_r);
+
+  // Bound the run at roughly half the space, capture, resume.
+  core::AnalyzerOptions bound = base_options();
+  bound.exploration.max_states = cold_r.states / 2;
+  std::string blob;
+  bound.checkpoint_out = &blob;
+  core::AnalysisResult bound_r;
+  const double bound_ms = run_ms(cruise_text(), root, bound, &bound_r);
+
+  core::AnalyzerOptions warm = base_options();
+  warm.resume_checkpoint = &blob;
+  core::AnalysisResult warm_r;
+  const double resume_ms = run_ms(cruise_text(), root, warm, &warm_r);
+
+  const bool identical = warm_r.resumed &&
+                         warm_r.outcome == cold_r.outcome &&
+                         warm_r.states == cold_r.states &&
+                         warm_r.transitions == cold_r.transitions;
+  std::printf("# %-22s %10s %10s %10s %12s %10s\n", "model", "cold_ms",
+              "bound_ms", "resume_ms", "ckpt_bytes", "identical");
+  std::printf("# %-22s %10.1f %10.1f %10.1f %12zu %10s\n",
+              "cruise_control.aadl", cold, bound_ms, resume_ms, blob.size(),
+              identical ? "yes" : "NO");
+  if (!identical)
+    std::fprintf(stderr,
+                 "warm verdict diverged from cold: resumed=%d states %llu vs "
+                 "%llu\n",
+                 warm_r.resumed ? 1 : 0,
+                 static_cast<unsigned long long>(warm_r.states),
+                 static_cast<unsigned long long>(cold_r.states));
+}
+
+/// A bound avionics checkpoint, captured once and shared by the BM_ bodies
+/// (avionics concludes in a few ms, so the timings stay runnable).
+struct Captured {
+  std::string blob;
+  std::uint64_t full_states = 0;
+};
+
+const Captured& captured() {
+  static const Captured c = [] {
+    Captured out;
+    core::AnalysisResult cold;
+    run_ms(avionics_text(), "Avionics.impl", base_options(), &cold);
+    out.full_states = cold.states;
+    core::AnalyzerOptions bound = base_options();
+    bound.exploration.max_states = cold.states / 2;
+    bound.checkpoint_out = &out.blob;
+    run_ms(avionics_text(), "Avionics.impl", bound, nullptr);
+    return out;
+  }();
+  return c;
+}
+
+void BM_CheckpointParse(benchmark::State& state) {
+  const std::string& blob = captured().blob;
+  for (auto _ : state) {
+    std::string error;
+    benchmark::DoNotOptimize(versa::parse_checkpoint(blob, error));
+  }
+  state.counters["bytes"] = static_cast<double>(blob.size());
+}
+BENCHMARK(BM_CheckpointParse)->Unit(benchmark::kMillisecond);
+
+void BM_CheckpointSerialize(benchmark::State& state) {
+  std::string error;
+  const auto restored = versa::parse_checkpoint(captured().blob, error);
+  if (!restored) {
+    state.SkipWithError("checkpoint parse failed");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        versa::serialize_checkpoint(*restored->ctx, restored->wave, "bench"));
+  }
+}
+BENCHMARK(BM_CheckpointSerialize)->Unit(benchmark::kMillisecond);
+
+void BM_ColdFullExploration(benchmark::State& state) {
+  for (auto _ : state) {
+    core::AnalysisResult r;
+    run_ms(avionics_text(), "Avionics.impl", base_options(), &r);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_ColdFullExploration)->Unit(benchmark::kMillisecond);
+
+void BM_ResumedExploration(benchmark::State& state) {
+  const std::string& blob = captured().blob;
+  for (auto _ : state) {
+    core::AnalyzerOptions warm = base_options();
+    warm.resume_checkpoint = &blob;
+    core::AnalysisResult r;
+    run_ms(avionics_text(), "Avionics.impl", warm, &r);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_ResumedExploration)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return aadlsched::bench::run_main(argc, argv, print_table);
+}

@@ -1,6 +1,7 @@
 #include "aadl/lexer.hpp"
 
 #include <cctype>
+#include <limits>
 #include <string>
 
 namespace aadlsched::aadl {
@@ -124,8 +125,13 @@ class LexerImpl {
       default:
         if (std::isdigit(static_cast<unsigned char>(c))) {
           std::int64_t v = c - '0';
-          while (std::isdigit(static_cast<unsigned char>(peek())))
-            v = v * 10 + (advance() - '0');
+          while (std::isdigit(static_cast<unsigned char>(peek()))) {
+            const std::int64_t digit = advance() - '0';
+            // Saturate instead of overflowing (UB): absurd magnitudes are
+            // rejected later by property validation, not here.
+            constexpr auto kMax = std::numeric_limits<std::int64_t>::max();
+            v = v > (kMax - digit) / 10 ? kMax : v * 10 + digit;
+          }
           // A real literal has a single '.' followed by a digit (leave ".."
           // alone — it is a range operator).
           if (peek() == '.' &&

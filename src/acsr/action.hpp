@@ -91,6 +91,7 @@ class EventSetTable {
   EventSetId intern(std::vector<Event> events);
   const std::vector<Event>& events(EventSetId id) const { return sets_[id]; }
   bool contains(EventSetId id, Event e) const;
+  std::size_t size() const { return sets_.size(); }
 
   void set_shared_mode(bool shared) { shared_ = shared; }
 

@@ -8,6 +8,7 @@
 #include "aadl/parser.hpp"
 #include "acsr/printer.hpp"
 #include "acsr/semantics.hpp"
+#include "versa/checkpoint.hpp"
 #include "versa/inspection.hpp"
 #include "util/string_utils.hpp"
 
@@ -149,6 +150,82 @@ FailingScenario lift_back(acsr::Context& ctx,
   return fs;
 }
 
+/// Map an exploration outcome onto the result, shared by the cold and the
+/// resumed paths. A partial run is still a result: ok means "the engine
+/// answered", and the answer may be Inconclusive(stop_reason). A found
+/// deadlock is conclusive even when the budget cut the run short.
+void apply_exploration(AnalysisResult& result,
+                       const versa::ExploreResult& er) {
+  result.states = er.states;
+  result.transitions = er.transitions;
+  result.exhaustive = er.complete;
+  result.schedulable = er.schedulable();
+  result.ok = true;
+  result.outcome = er.deadlock_found ? Outcome::NotSchedulable
+                   : er.complete     ? Outcome::Schedulable
+                                     : Outcome::Inconclusive;
+  result.stop_reason = er.stop;
+  result.trace_dropped = er.trace_dropped;
+  result.depth = er.depth;
+  result.explore_ms = er.wall_ms;
+  result.peak_frontier = er.peak_frontier;
+  result.fans_computed = er.sem_stats.computed;
+  result.memo_hits = er.sem_stats.memo_hits;
+  result.worker_states = er.worker_states;
+}
+
+/// Serialize the captured wavefront when the run is worth resuming later:
+/// stopped on a budget, no verdict yet, frontier non-empty. Conclusive runs
+/// (including a found deadlock) leave `checkpoint_out` untouched.
+void maybe_capture_checkpoint(AnalysisResult& result,
+                              const versa::ExploreResult& er,
+                              const versa::Wavefront& wave,
+                              const acsr::Context& ctx,
+                              const AnalyzerOptions& opts) {
+  if (!opts.checkpoint_out || er.deadlock_found || wave.empty()) return;
+  switch (er.stop) {
+    case util::StopReason::MaxStates:
+    case util::StopReason::Deadline:
+    case util::StopReason::MemoryBudget:
+    case util::StopReason::Cancelled:
+      break;
+    default:
+      return;  // None (conclusive) or Fault (state may be inconsistent)
+  }
+  *opts.checkpoint_out = versa::serialize_checkpoint(
+      ctx, wave, opts.checkpoint_key.empty() ? "-" : opts.checkpoint_key);
+  result.checkpoint_captured = true;
+}
+
+/// The resumed path of analyze_instance: exploration continues a restored
+/// wavefront, so lint, translation and AADL-level trace lifting are all
+/// skipped (a resumed run has no parent links, hence never a timeline).
+AnalysisResult analyze_resumed(versa::RestoredCheckpoint restored,
+                               const AnalyzerOptions& opts) {
+  AnalysisResult result;
+  acsr::Context& ctx = *restored.ctx;
+
+  versa::ExploreOptions eopts = opts.exploration;
+  eopts.resume = &restored.wave;
+  versa::Wavefront captured;
+  if (opts.checkpoint_out) eopts.capture = &captured;
+
+  versa::ExploreResult er;
+  if (opts.parallel.workers == 1) {
+    acsr::Semantics sem(ctx);
+    er = versa::explore(sem, restored.wave.initial, eopts);
+  } else {
+    er = versa::explore_parallel(ctx, restored.wave.initial, eopts,
+                                 opts.parallel);
+  }
+  apply_exploration(result, er);
+  result.resumed = true;
+  result.resumed_from_depth = restored.wave.depth;
+  result.resumed_from_states = restored.wave.states;
+  maybe_capture_checkpoint(result, er, captured, ctx, opts);
+  return result;
+}
+
 }  // namespace
 
 std::string FailingScenario::render() const {
@@ -216,6 +293,13 @@ std::string AnalysisResult::summary() const {
        << " / " << states << " states (partial result, not a verdict)";
     if (trace_dropped) os << "\n  trace recording was dropped en route";
   }
+  if (resumed)
+    os << "\nresumed from depth " << resumed_from_depth << " ("
+       << resumed_from_states
+       << " states already visited via warm checkpoint)";
+  if (checkpoint_captured)
+    os << "\ncheckpoint captured at depth " << depth
+       << " — resubmit with a larger budget to resume";
   os << "\nexploration: " << std::fixed << std::setprecision(2) << explore_ms
      << " ms, peak frontier " << peak_frontier << ", fan memo "
      << memo_hits << " hits / " << fans_computed << " computed";
@@ -234,6 +318,20 @@ AnalysisResult analyze_instance(const aadl::InstanceModel& instance,
                                 const AnalyzerOptions& opts) {
   AnalysisResult result;
   util::DiagnosticEngine diags("<model>");
+
+  // Warm resume: a valid checkpoint stands in for lint + translation + the
+  // already-explored prefix. A checkpoint that fails validation (digest,
+  // round-trip, any id out of range) downgrades to a cold run — resuming is
+  // an optimization, never a correctness risk.
+  std::string resume_note;
+  if (opts.resume_checkpoint && !opts.resume_checkpoint->empty()) {
+    std::string why;
+    if (auto restored =
+            versa::parse_checkpoint(*opts.resume_checkpoint, why)) {
+      return analyze_resumed(std::move(*restored), opts);
+    }
+    resume_note = why + "; falling back to a cold run\n";
+  }
 
   if (opts.run_lint) {
     lint::Options lopts = opts.lint;
@@ -254,49 +352,34 @@ AnalysisResult analyze_instance(const aadl::InstanceModel& instance,
       result.outcome = result.schedulable ? Outcome::Schedulable
                                           : Outcome::NotSchedulable;
       result.decided_by = report.decided_by;
-      result.diagnostics = diags.render_all();
+      result.diagnostics = resume_note + diags.render_all();
       return result;
     }
     if (report.fails(opts.lint.fail_on)) {
-      result.diagnostics = diags.render_all();
+      result.diagnostics = resume_note + diags.render_all();
       return result;  // ok == false: lint gate tripped
     }
   }
 
   acsr::Context ctx;
   auto tr = translate::translate(ctx, instance, diags, opts.translation);
-  result.diagnostics = diags.render_all();
+  result.diagnostics = resume_note + diags.render_all();
   if (!tr) return result;
   result.threads = tr->threads;
+
+  versa::ExploreOptions eopts = opts.exploration;
+  versa::Wavefront captured;
+  if (opts.checkpoint_out) eopts.capture = &captured;
 
   versa::ExploreResult er;
   if (opts.parallel.workers == 1) {
     acsr::Semantics sem(ctx);
-    er = versa::explore(sem, tr->initial, opts.exploration);
+    er = versa::explore(sem, tr->initial, eopts);
   } else {
-    er = versa::explore_parallel(ctx, tr->initial, opts.exploration,
-                                 opts.parallel);
+    er = versa::explore_parallel(ctx, tr->initial, eopts, opts.parallel);
   }
-  result.states = er.states;
-  result.transitions = er.transitions;
-  result.exhaustive = er.complete;
-  result.schedulable = er.schedulable();
-  // A partial run is still a result: ok means "the engine answered", and
-  // the answer may be Inconclusive(stop_reason). Only front-end/translation
-  // failures (earlier returns) leave ok == false. A found deadlock is
-  // conclusive even when the budget cut the run short.
-  result.ok = true;
-  result.outcome = er.deadlock_found ? Outcome::NotSchedulable
-                   : er.complete     ? Outcome::Schedulable
-                                     : Outcome::Inconclusive;
-  result.stop_reason = er.stop;
-  result.trace_dropped = er.trace_dropped;
-  result.depth = er.depth;
-  result.explore_ms = er.wall_ms;
-  result.peak_frontier = er.peak_frontier;
-  result.fans_computed = er.sem_stats.computed;
-  result.memo_hits = er.sem_stats.memo_hits;
-  result.worker_states = er.worker_states;
+  apply_exploration(result, er);
+  maybe_capture_checkpoint(result, er, captured, ctx, opts);
   // No timeline without a trace: when recording was dropped under memory
   // pressure, lifting would produce an empty "0 quanta" scenario that reads
   // like a real counterexample.

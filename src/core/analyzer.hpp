@@ -38,6 +38,20 @@ struct AnalyzerOptions {
   /// When lint reaches a conclusive static verdict on a translatable
   /// model, skip exploration and report 0 states (DESIGN.md §9).
   bool skip_exploration_on_conclusive = true;
+
+  // --- warm re-exploration (DESIGN.md §12) -----------------------------
+  /// When non-null and exploration stops on a budget without reaching a
+  /// verdict, a serialized versa checkpoint (translated module + BFS
+  /// wavefront) is written here so a later run can resume it.
+  std::string* checkpoint_out = nullptr;
+  /// When non-null and non-empty, try to restore this checkpoint and
+  /// resume: lint, translation and the already-explored prefix are all
+  /// skipped. Any validation failure falls back to a cold run (the reason
+  /// lands in AnalysisResult::diagnostics).
+  const std::string* resume_checkpoint = nullptr;
+  /// Cache key recorded inside a captured checkpoint (instance fingerprint
+  /// + options hash at the service layer; informational elsewhere).
+  std::string checkpoint_key;
 };
 
 /// Per-thread status in one quantum of a failing scenario.
@@ -105,6 +119,14 @@ struct AnalysisResult {
   /// Check id(s) that decided the verdict statically (empty when the
   /// verdict came from exploration).
   std::string decided_by;
+
+  // Warm re-exploration observability. These live OUTSIDE the canonical
+  // result JSON (core/result_json.cpp) on purpose: a resumed run that
+  // reaches a verdict must render byte-identically to a cold run.
+  bool resumed = false;                  // run continued a checkpoint
+  std::uint64_t resumed_from_depth = 0;  // wavefront depth at resume
+  std::uint64_t resumed_from_states = 0;
+  bool checkpoint_captured = false;      // checkpoint_out was filled
 
   // Exploration observability (see versa::ExploreResult).
   double explore_ms = 0;

@@ -2,10 +2,13 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <utility>
+#include <vector>
 
 #include "core/result_json.hpp"
 #include "util/json.hpp"
@@ -13,6 +16,24 @@
 namespace aadlsched::server {
 
 namespace fs = std::filesystem;
+
+namespace {
+
+/// Remove `<name>.tmp.<pid>` leftovers from writers that died between the
+/// tmp write and the rename. They are invisible to lookups (which only
+/// open final paths) but accumulate forever otherwise.
+void sweep_stale_tmp_files(const std::string& dir) {
+  std::error_code ec;
+  for (const auto& ent : fs::directory_iterator(dir, ec)) {
+    if (!ent.is_regular_file(ec)) continue;
+    const std::string name = ent.path().filename().string();
+    if (name.find(".tmp.") == std::string::npos) continue;
+    std::error_code rm;
+    fs::remove(ent.path(), rm);
+  }
+}
+
+}  // namespace
 
 ResultCache::ResultCache(CacheConfig cfg)
     : cfg_(std::move(cfg)), memory_(cfg_.memory_capacity) {
@@ -22,6 +43,7 @@ ResultCache::ResultCache(CacheConfig cfg)
     // A failed create degrades to memory-only: lookups will miss, stores
     // will fail silently. The daemon surfaces the misconfiguration at
     // startup instead (it stats the directory).
+    sweep_stale_tmp_files(cfg_.disk_dir);
   }
 }
 
@@ -40,13 +62,21 @@ std::optional<ResultCache::Entry> ResultCache::disk_load(
   while (!json.empty() && (json.back() == '\n' || json.back() == '\r'))
     json.pop_back();
   // The file *is* the canonical result object; recover the outcome from its
-  // "outcome" field and reject anything torn or foreign.
+  // "outcome" field and reject anything torn or foreign. A rejected file is
+  // quarantined (deleted) so the damage costs exactly one miss: the re-run
+  // stores a fresh copy instead of tripping over the same bytes forever.
+  const auto quarantine = [&]() -> std::optional<Entry> {
+    std::error_code ec;
+    fs::remove(disk_path(key), ec);
+    corrupt_evictions_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  };
   const auto doc = util::parse_json(json);
-  if (!doc || !doc->is_object()) return std::nullopt;
+  if (!doc || !doc->is_object()) return quarantine();
   const auto* outcome = doc->get("outcome");
-  if (!outcome || !outcome->is_string()) return std::nullopt;
+  if (!outcome || !outcome->is_string()) return quarantine();
   const auto parsed = core::outcome_from_string(outcome->as_string());
-  if (!parsed || !cacheable(*parsed)) return std::nullopt;
+  if (!parsed || !cacheable(*parsed)) return quarantine();
   return Entry{*parsed, std::move(json)};
 }
 
@@ -95,6 +125,124 @@ std::uint64_t ResultCache::evictions() const {
 }
 
 std::uint64_t ResultCache::entries() const {
+  std::lock_guard lock(mu_);
+  return memory_.size();
+}
+
+// --- CheckpointStore -------------------------------------------------------
+
+CheckpointStore::CheckpointStore(std::size_t memory_capacity,
+                                 std::size_t disk_cap, std::string disk_dir)
+    : disk_cap_(disk_cap),
+      disk_dir_(std::move(disk_dir)),
+      memory_(memory_capacity) {
+  if (has_disk_tier()) {
+    std::error_code ec;
+    fs::create_directories(disk_dir_, ec);
+    // ResultCache sweeps the shared directory too when it owns it, but the
+    // store must clean up after itself when configured standalone.
+    sweep_stale_tmp_files(disk_dir_);
+  }
+}
+
+std::string CheckpointStore::disk_path(const std::string& key) const {
+  return disk_dir_ + "/" + key + ".ckpt";
+}
+
+std::optional<std::string> CheckpointStore::lookup(const std::string& key) {
+  {
+    std::lock_guard lock(mu_);
+    if (auto blob = memory_.get(key)) return blob;
+  }
+  if (!has_disk_tier()) return std::nullopt;
+  std::ifstream in(disk_path(key), std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string blob = buf.str();
+  if (blob.empty()) return std::nullopt;
+  // No integrity check here: versa::parse_checkpoint verifies the embedded
+  // digest and the service erases blobs that fail to restore.
+  {
+    std::lock_guard lock(mu_);
+    memory_.put(key, blob);
+  }
+  return blob;
+}
+
+void CheckpointStore::store(const std::string& key,
+                            const std::string& checkpoint) {
+  if (checkpoint.empty()) return;
+  {
+    std::lock_guard lock(mu_);
+    memory_.put(key, checkpoint);
+  }
+  if (!has_disk_tier()) return;
+  const std::string final_path = disk_path(key);
+  const std::string tmp_path =
+      final_path + ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream out(tmp_path, std::ios::trunc | std::ios::binary);
+    if (!out) return;
+    out << checkpoint;
+  }
+  std::error_code ec;
+  fs::rename(tmp_path, final_path, ec);
+  if (ec) {
+    fs::remove(tmp_path, ec);
+    return;
+  }
+  enforce_disk_cap();
+}
+
+void CheckpointStore::erase(const std::string& key) {
+  {
+    std::lock_guard lock(mu_);
+    memory_.erase(key);
+  }
+  if (!has_disk_tier()) return;
+  std::error_code ec;
+  fs::remove(disk_path(key), ec);
+}
+
+void CheckpointStore::enforce_disk_cap() {
+  std::vector<std::pair<fs::file_time_type, fs::path>> files;
+  std::error_code ec;
+  for (const auto& ent : fs::directory_iterator(disk_dir_, ec)) {
+    if (!ent.is_regular_file(ec)) continue;
+    if (ent.path().extension() != ".ckpt") continue;
+    std::error_code mt;
+    files.emplace_back(ent.last_write_time(mt), ent.path());
+  }
+  if (files.size() <= disk_cap_) return;
+  std::sort(files.begin(), files.end());
+  const std::size_t excess = files.size() - disk_cap_;
+  std::uint64_t removed = 0;
+  for (std::size_t i = 0; i < excess; ++i) {
+    std::error_code rm;
+    if (fs::remove(files[i].second, rm)) ++removed;
+  }
+  std::lock_guard lock(mu_);
+  disk_evictions_ += removed;
+}
+
+std::uint64_t CheckpointStore::evictions() const {
+  std::lock_guard lock(mu_);
+  return memory_.evictions() + disk_evictions_;
+}
+
+std::uint64_t CheckpointStore::entries() const {
+  if (has_disk_tier()) {
+    // The disk tier is the authoritative set (memory is a subset of it);
+    // the cap keeps this scan trivially small.
+    std::uint64_t n = 0;
+    std::error_code ec;
+    for (const auto& ent : fs::directory_iterator(disk_dir_, ec)) {
+      std::error_code rf;
+      if (ent.is_regular_file(rf) && ent.path().extension() == ".ckpt") ++n;
+    }
+    return n;
+  }
   std::lock_guard lock(mu_);
   return memory_.size();
 }

@@ -21,6 +21,7 @@
 // bigger envelope. cacheable() encodes this.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <optional>
@@ -34,6 +35,17 @@ namespace aadlsched::server {
 struct CacheConfig {
   std::size_t memory_capacity = 1024;  // result objects are small (~300 B)
   std::string disk_dir;                // "" disables the disk tier
+
+  // --- checkpoint tier (warm re-exploration, DESIGN.md §12) -------------
+  /// Keep exploration checkpoints of budget-bound runs so a later request
+  /// with a larger envelope resumes instead of re-exploring from scratch.
+  bool checkpoints = true;
+  /// Checkpoints are big (the whole wavefront, often MBs) — the in-memory
+  /// tier is deliberately tiny compared to the result cache.
+  std::size_t checkpoint_memory_capacity = 4;
+  /// Cap on `.ckpt` files kept in disk_dir; oldest (by mtime) are deleted
+  /// first when over the cap. 0 disables the checkpoint disk tier.
+  std::size_t checkpoint_disk_cap = 16;
 };
 
 /// Budget-invariant outcomes only (see soundness policy above).
@@ -61,6 +73,11 @@ class ResultCache {
 
   std::uint64_t evictions() const;
   std::uint64_t entries() const;
+  /// Corrupt disk entries quarantined (deleted) on load. Each costs one
+  /// cache miss and then self-heals: the re-run's store rewrites the file.
+  std::uint64_t corrupt_evictions() const {
+    return corrupt_evictions_.load(std::memory_order_relaxed);
+  }
   bool has_disk_tier() const { return !cfg_.disk_dir.empty(); }
 
  private:
@@ -75,6 +92,48 @@ class ResultCache {
   CacheConfig cfg_;
   mutable std::mutex mu_;
   util::LruCache<std::string, Entry> memory_;
+  mutable std::atomic<std::uint64_t> corrupt_evictions_{0};
+};
+
+/// Third cache tier: serialized exploration checkpoints of budget-bound
+/// runs (versa::serialize_checkpoint blobs), keyed exactly like results.
+/// Unlike results, checkpoints are *not* verdicts — they are resumable
+/// work-in-progress — so the store is small, bounded on both tiers, and an
+/// entry is dropped the moment a conclusive result lands for its key
+/// (the result cache supersedes it).
+///
+/// The blob is treated as opaque bytes here; integrity is enforced where it
+/// matters, by the digest check in versa::parse_checkpoint. A checkpoint
+/// that fails to restore costs one cold run and is erased by the service.
+class CheckpointStore {
+ public:
+  CheckpointStore(std::size_t memory_capacity, std::size_t disk_cap,
+                  std::string disk_dir);
+
+  /// Memory tier first, then disk (promoting on a disk hit).
+  std::optional<std::string> lookup(const std::string& key);
+
+  /// Store on both tiers (disk via tmp + rename), then enforce the disk
+  /// cap by deleting the oldest `.ckpt` files.
+  void store(const std::string& key, const std::string& checkpoint);
+
+  /// Drop a checkpoint everywhere (conclusive verdict reached, or the
+  /// blob failed to restore).
+  void erase(const std::string& key);
+
+  std::uint64_t evictions() const;
+  std::uint64_t entries() const;
+  bool has_disk_tier() const { return disk_cap_ > 0 && !disk_dir_.empty(); }
+
+ private:
+  std::string disk_path(const std::string& key) const;
+  void enforce_disk_cap();  // caller must NOT hold mu_ (does file I/O)
+
+  std::size_t disk_cap_;
+  std::string disk_dir_;
+  mutable std::mutex mu_;
+  util::LruCache<std::string, std::string> memory_;
+  std::uint64_t disk_evictions_ = 0;
 };
 
 }  // namespace aadlsched::server

@@ -18,7 +18,16 @@ std::string StatsSnapshot::render_json() const {
   w.key("misses").value(cache_misses);
   w.key("stores").value(cache_stores);
   w.key("evictions").value(cache_evictions);
+  w.key("corrupt_evictions").value(cache_corrupt_evictions);
   w.key("entries").value(cache_entries);
+  w.end_object();
+  w.key("checkpoints").begin_object();
+  w.key("hits").value(checkpoint_hits);
+  w.key("misses").value(checkpoint_misses);
+  w.key("stores").value(checkpoint_stores);
+  w.key("resume_failures").value(checkpoint_resume_failures);
+  w.key("evictions").value(checkpoint_evictions);
+  w.key("entries").value(checkpoint_entries);
   w.end_object();
   w.key("coalesced").value(coalesced);
   w.key("protocol_errors").value(protocol_errors);
@@ -84,6 +93,26 @@ void Metrics::record_store() {
   ++s_.cache_stores;
 }
 
+void Metrics::record_checkpoint_hit() {
+  std::lock_guard lock(mu_);
+  ++s_.checkpoint_hits;
+}
+
+void Metrics::record_checkpoint_miss() {
+  std::lock_guard lock(mu_);
+  ++s_.checkpoint_misses;
+}
+
+void Metrics::record_checkpoint_store() {
+  std::lock_guard lock(mu_);
+  ++s_.checkpoint_stores;
+}
+
+void Metrics::record_checkpoint_resume_failure() {
+  std::lock_guard lock(mu_);
+  ++s_.checkpoint_resume_failures;
+}
+
 void Metrics::record_coalesced() {
   std::lock_guard lock(mu_);
   ++s_.coalesced;
@@ -111,12 +140,14 @@ void Metrics::queue_depth_delta(int d) {
   s_.queue_depth += static_cast<std::uint64_t>(d);
 }
 
-StatsSnapshot Metrics::snapshot(std::uint64_t cache_evictions,
-                                std::uint64_t cache_entries) const {
+StatsSnapshot Metrics::snapshot(const CacheGauges& gauges) const {
   std::lock_guard lock(mu_);
   StatsSnapshot out = s_;
-  out.cache_evictions = cache_evictions;
-  out.cache_entries = cache_entries;
+  out.cache_evictions = gauges.cache_evictions;
+  out.cache_entries = gauges.cache_entries;
+  out.cache_corrupt_evictions = gauges.cache_corrupt_evictions;
+  out.checkpoint_evictions = gauges.checkpoint_evictions;
+  out.checkpoint_entries = gauges.checkpoint_entries;
   out.analyses_run = s_.analyses_run;
   out.latency_samples = latency_total_;
   out.max_ms = latency_max_;

@@ -30,6 +30,14 @@ struct StatsSnapshot {
   std::uint64_t cache_misses = 0;
   std::uint64_t cache_stores = 0;
   std::uint64_t cache_evictions = 0;
+  /// Corrupt disk-cache files quarantined on load (cache self-healing).
+  std::uint64_t cache_corrupt_evictions = 0;
+  // Warm re-exploration (checkpoint tier, DESIGN.md §12).
+  std::uint64_t checkpoint_hits = 0;    // resume requests served a checkpoint
+  std::uint64_t checkpoint_misses = 0;  // resume requested, none available
+  std::uint64_t checkpoint_stores = 0;  // budget-bound runs checkpointed
+  std::uint64_t checkpoint_resume_failures = 0;  // restore rejected; ran cold
+  std::uint64_t checkpoint_evictions = 0;
   std::uint64_t coalesced = 0;  // requests that piggybacked an in-flight run
   std::uint64_t protocol_errors = 0;
   std::uint64_t outcomes[4] = {0, 0, 0, 0};  // indexed by core::Outcome
@@ -37,6 +45,7 @@ struct StatsSnapshot {
   std::uint64_t in_flight = 0;    // analyses executing right now
   std::uint64_t queue_depth = 0;  // admitted but not yet executing
   std::uint64_t cache_entries = 0;
+  std::uint64_t checkpoint_entries = 0;
   // Latency of served analyze requests (submit -> response), milliseconds.
   std::uint64_t latency_samples = 0;
   double p50_ms = 0;
@@ -60,15 +69,24 @@ class Metrics {
   void record_hit(bool disk_tier);
   void record_miss();
   void record_store();
+  void record_checkpoint_hit();
+  void record_checkpoint_miss();
+  void record_checkpoint_store();
+  void record_checkpoint_resume_failure();
   void record_coalesced();
   void record_latency_ms(double ms);
   void in_flight_delta(int d);
   void queue_depth_delta(int d);
 
-  /// `cache_evictions`/`cache_entries` are sampled from the cache at
-  /// snapshot time (the cache owns those numbers).
-  StatsSnapshot snapshot(std::uint64_t cache_evictions,
-                         std::uint64_t cache_entries) const;
+  /// Numbers the caches own, sampled at snapshot time.
+  struct CacheGauges {
+    std::uint64_t cache_evictions = 0;
+    std::uint64_t cache_entries = 0;
+    std::uint64_t cache_corrupt_evictions = 0;
+    std::uint64_t checkpoint_evictions = 0;
+    std::uint64_t checkpoint_entries = 0;
+  };
+  StatsSnapshot snapshot(const CacheGauges& gauges) const;
 
  private:
   static constexpr std::size_t kLatencyRing = 4096;

@@ -9,14 +9,18 @@
 //    "options": {"quantum_ms": 1, "max_states": 5000000, "deadline_ms": 0,
 //                "memory_budget_mb": 0, "workers": 1, "lint": true,
 //                "late_completion": false},
-//    "no_cache": false}
+//    "no_cache": false, "resume": false, "no_checkpoint": false}
 // Request (stats | ping | shutdown):
 //   {"v": 1, "op": "stats"}
 //
 // Response (analyze):
 //   {"v": 1, "op": "analyze", "id": "r1", "ok": true,
 //    "fingerprint": "<32 hex>", "cached": true, "cache_tier": "memory",
-//    "served_ms": 0.31, "result": {<core::render_result_json object>}}
+//    "served_ms": 0.31, "resumed": true, "resumed_depth": 7,
+//    "checkpoint_captured": true, "result": {<render_result_json object>}}
+//   ("resumed"/"resumed_depth"/"checkpoint_captured" appear only when set —
+//   they live outside "result" so cold and resumed runs that reach the same
+//   verdict render byte-identical result objects.)
 // Response (stats):
 //   {"v": 1, "op": "stats", "ok": true, "stats": {...}}
 // Response (protocol error):
@@ -64,6 +68,9 @@ struct Request {
   std::string root;   // root implementation, e.g. "Root.impl" (analyze)
   RequestOptions options;
   bool no_cache = false;  // bypass cache lookup AND store (forced re-run)
+  // Warm re-exploration (DESIGN.md §12):
+  bool resume = false;         // resume from a stored checkpoint if one exists
+  bool no_checkpoint = false;  // never capture a checkpoint for this run
 };
 
 struct Response {
@@ -77,6 +84,11 @@ struct Response {
   bool cached = false;
   std::string cache_tier;  // "memory" | "disk" | "none"
   double served_ms = 0;
+  // Warm re-exploration observability (kept OUT of result_json so cold and
+  // resumed runs stay byte-identical there):
+  bool resumed = false;              // run continued a stored checkpoint
+  std::uint64_t resumed_depth = 0;   // wavefront depth the run resumed from
+  bool checkpoint_captured = false;  // a checkpoint was stored for this key
   std::string result_json;  // canonical result object (render_result_json)
   // stats:
   std::string stats_json;

@@ -111,8 +111,14 @@ struct Service::Job {
 };
 
 Service::Service(ServiceConfig cfg)
-    : cfg_(cfg), cache_(cfg.cache), admission_(std::max<std::size_t>(
-                                        1, cfg.small_burst)) {
+    : cfg_(cfg),
+      cache_(cfg.cache),
+      // checkpoints=false zeroes both tiers: stores drop, lookups miss.
+      checkpoints_(cfg.cache.checkpoints ? cfg.cache.checkpoint_memory_capacity
+                                         : 0,
+                   cfg.cache.checkpoints ? cfg.cache.checkpoint_disk_cap : 0,
+                   cfg.cache.disk_dir),
+      admission_(std::max<std::size_t>(1, cfg.small_burst)) {
   std::size_t n = cfg_.workers;
   if (n == 0)
     n = std::max<unsigned>(1, std::thread::hardware_concurrency());
@@ -310,15 +316,54 @@ void Service::run_job(const std::shared_ptr<Job>& job) {
   metrics_.in_flight_delta(+1);
   metrics_.record_analysis_run();
 
-  const core::AnalyzerOptions opts = analyzer_options(job->req.options);
+  core::AnalyzerOptions opts = analyzer_options(job->req.options);
+
+  // Warm re-exploration (DESIGN.md §12). no_cache means "forced cold
+  // re-run", so it opts out of the checkpoint tier entirely — the --no-cache
+  // control run in a cold-vs-resumed comparison must neither resume nor
+  // clobber the stored wavefront.
+  const bool use_checkpoints = cfg_.cache.checkpoints &&
+                               !job->req.no_checkpoint && !job->req.no_cache;
+  std::string checkpoint_out;
+  std::string resume_blob;
+  bool resume_attempted = false;
+  if (use_checkpoints) {
+    opts.checkpoint_out = &checkpoint_out;
+    opts.checkpoint_key = job->key;
+    if (job->req.resume) {
+      if (auto blob = checkpoints_.lookup(job->key)) {
+        resume_blob = std::move(*blob);
+        opts.resume_checkpoint = &resume_blob;
+        resume_attempted = true;
+        metrics_.record_checkpoint_hit();
+      } else {
+        metrics_.record_checkpoint_miss();
+      }
+    }
+  }
+
   core::AnalysisResult result =
       core::analyze_instance(*job->parsed->instance, opts);
   result.diagnostics = job->parsed->front_end_output + result.diagnostics;
   const std::string result_json = core::render_result_json(result);
 
+  if (resume_attempted && !result.resumed) {
+    // The blob failed restore validation (analyze_instance fell back to a
+    // cold run). Drop it — retrying the same bytes cannot succeed.
+    metrics_.record_checkpoint_resume_failure();
+    checkpoints_.erase(job->key);
+  }
+  if (use_checkpoints && result.checkpoint_captured &&
+      !checkpoint_out.empty()) {
+    checkpoints_.store(job->key, checkpoint_out);
+    metrics_.record_checkpoint_store();
+  }
+
   if (!job->req.no_cache && cacheable(result.outcome)) {
     cache_.store(job->key, result.outcome, result_json);
     metrics_.record_store();
+    // A conclusive verdict supersedes any partial wavefront for this key.
+    checkpoints_.erase(job->key);
   }
 
   std::vector<Job::Waiter> waiters;
@@ -337,6 +382,9 @@ void Service::run_job(const std::shared_ptr<Job>& job) {
     resp.fingerprint = job->fingerprint;
     resp.cached = false;
     resp.cache_tier = "none";
+    resp.resumed = result.resumed;
+    resp.resumed_depth = result.resumed_from_depth;
+    resp.checkpoint_captured = result.checkpoint_captured;
     resp.result_json = result_json;
     resp.served_ms = ms_since(w.t0);
     metrics_.record_outcome(result.outcome);
@@ -362,7 +410,13 @@ std::string Service::handle_line(std::string_view line) {
 }
 
 std::string Service::stats_json() {
-  return metrics_.snapshot(cache_.evictions(), cache_.entries()).render_json();
+  Metrics::CacheGauges g;
+  g.cache_evictions = cache_.evictions();
+  g.cache_entries = cache_.entries();
+  g.cache_corrupt_evictions = cache_.corrupt_evictions();
+  g.checkpoint_evictions = checkpoints_.evictions();
+  g.checkpoint_entries = checkpoints_.entries();
+  return metrics_.snapshot(g).render_json();
 }
 
 }  // namespace aadlsched::server

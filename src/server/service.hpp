@@ -1,7 +1,8 @@
 // The in-process analysis service: the daemon minus the socket.
 //
 // A Service owns a worker pool, an admission queue, a two-tier result
-// cache and a metrics block. submit() classifies the request:
+// cache, a checkpoint store for warm re-exploration (DESIGN.md §12) and a
+// metrics block. submit() classifies the request:
 //
 //   * stats / ping / shutdown are answered inline (they must stay
 //     responsive while every worker grinds on a storm model);
@@ -110,6 +111,7 @@ class Service {
 
   ServiceConfig cfg_;
   ResultCache cache_;
+  CheckpointStore checkpoints_;
   Metrics metrics_;
 
   mutable std::mutex mu_;

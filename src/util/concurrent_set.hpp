@@ -72,6 +72,18 @@ class ConcurrentSet {
     return n + (shard_mask_ + 1) * sizeof(Shard);
   }
 
+  /// Visit every key (per-shard lock; order is unspecified — sort the
+  /// output if you need a stable sequence). Used by checkpoint capture,
+  /// which runs while the worker pool is quiescent.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t s = 0; s <= shard_mask_; ++s) {
+      std::lock_guard lk(shards_[s].mu);
+      for (const std::uint64_t stored : shards_[s].slots)
+        if (stored != 0) fn(stored - 1);
+    }
+  }
+
   /// Exact when no insert is concurrently in flight.
   std::size_t size() const {
     std::size_t n = 0;

@@ -173,31 +173,63 @@ class JsonParser {
         case 'r': out.push_back('\r'); break;
         case 't': out.push_back('\t'); break;
         case 'u': {
-          if (pos_ + 4 > text_.size()) {
-            fail("truncated \\u escape");
-            return std::nullopt;
-          }
+          const auto hex4 = [&](unsigned& value) {
+            if (pos_ + 4 > text_.size()) {
+              fail("truncated \\u escape");
+              return false;
+            }
+            value = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              value <<= 4;
+              if (h >= '0' && h <= '9') value |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') value |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') value |= static_cast<unsigned>(h - 'A' + 10);
+              else {
+                fail("bad hex digit in \\u escape");
+                return false;
+              }
+            }
+            return true;
+          };
           unsigned cp = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = text_[pos_++];
-            cp <<= 4;
-            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
-            else {
-              fail("bad hex digit in \\u escape");
+          if (!hex4(cp)) return std::nullopt;
+          // Surrogate pairs (RFC 8259 §7): a high surrogate must be followed
+          // by "\uDC00".."\uDFFF"; together they name one supplementary code
+          // point, emitted as a single 4-byte UTF-8 sequence. A lone
+          // surrogate in either position names no character at all and is a
+          // parse error — silently emitting it produced invalid UTF-8
+          // (CESU-8-style 3-byte surrogate encodings) downstream.
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              fail("lone high surrogate in \\u escape");
               return std::nullopt;
             }
+            pos_ += 2;
+            unsigned lo = 0;
+            if (!hex4(lo)) return std::nullopt;
+            if (lo < 0xDC00 || lo > 0xDFFF) {
+              fail("high surrogate not followed by a low surrogate");
+              return std::nullopt;
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            fail("lone low surrogate in \\u escape");
+            return std::nullopt;
           }
-          // Encode the BMP code point as UTF-8 (surrogate pairs are passed
-          // through as two 3-byte sequences; good enough for diagnostics).
           if (cp < 0x80) {
             out.push_back(static_cast<char>(cp));
           } else if (cp < 0x800) {
             out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
             out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
-          } else {
+          } else if (cp < 0x10000) {
             out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
             out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
             out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
           }

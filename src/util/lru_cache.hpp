@@ -64,6 +64,16 @@ class LruCache {
     }
   }
 
+  /// Remove an entry if present. Not counted as an eviction — eviction is
+  /// capacity pressure, erase is an explicit invalidation.
+  bool erase(const Key& key) {
+    const auto it = map_.find(key);
+    if (it == map_.end()) return false;
+    order_.erase(it->second);
+    map_.erase(it);
+    return true;
+  }
+
   void clear() {
     map_.clear();
     order_.clear();

@@ -63,10 +63,6 @@ ExploreResult explore(acsr::Semantics& sem, TermId initial,
   std::unordered_map<TermId, bool> seen;
   std::deque<TermId> frontier;
 
-  seen.emplace(initial, true);
-  frontier.push_back(initial);
-  result.states = 1;
-  result.peak_frontier = 1;
   std::uint64_t expanded = 0;
   bool recording = opts.record_trace;
 
@@ -75,6 +71,36 @@ ExploreResult explore(acsr::Semantics& sem, TermId initial,
   // level).
   std::uint64_t level_remaining = 1;
   std::uint64_t next_level = 0;
+
+  if (opts.resume && !opts.resume->empty()) {
+    // Warm start: seed the visited set, both frontiers and every counter
+    // from the paused run. The deque layout below (current-level remainder
+    // followed by the next level) is exactly the loop invariant, so the
+    // resumed BFS is indistinguishable from one that never stopped — except
+    // that parent links are gone, so no trace can be recorded.
+    const Wavefront& w = *opts.resume;
+    result.initial = w.initial;
+    for (const TermId s : w.visited) seen.emplace(s, true);
+    frontier.insert(frontier.end(), w.frontier.begin(), w.frontier.end());
+    frontier.insert(frontier.end(), w.next_frontier.begin(),
+                    w.next_frontier.end());
+    level_remaining = w.frontier.size();
+    next_level = w.next_frontier.size();
+    result.states = w.states;
+    result.transitions = w.transitions;
+    result.depth = w.depth;
+    result.peak_frontier = std::max<std::uint64_t>(w.peak_frontier,
+                                                   frontier.size());
+    result.deadlock_count = w.deadlock_count;
+    result.deadlock_found = w.deadlock_found;
+    result.first_deadlock = w.first_deadlock;
+    recording = false;
+  } else {
+    seen.emplace(initial, true);
+    frontier.push_back(initial);
+    result.states = 1;
+    result.peak_frontier = 1;
+  }
 
   util::BudgetTracker tracker(opts.budget, [&]() -> std::uint64_t {
     // Hash-cons tables + visited/parent maps + frontier. Per-entry
@@ -92,7 +118,40 @@ ExploreResult explore(acsr::Semantics& sem, TermId initial,
     result.wall_ms = ms_since(t0);
   };
 
+  // Snapshot the paused BFS for a later warm resume. Only meaningful at the
+  // loop top, where the frontier deque is exactly [current-level remainder]
+  // ++ [next level] — both early returns below sit there.
+  const auto capture_wavefront = [&] {
+    if (!opts.capture) return;
+    Wavefront& w = *opts.capture;
+    w = {};
+    w.initial = result.initial;
+    w.frontier.assign(frontier.begin(),
+                      frontier.begin() + static_cast<std::ptrdiff_t>(
+                                             level_remaining));
+    w.next_frontier.assign(frontier.begin() + static_cast<std::ptrdiff_t>(
+                                                  level_remaining),
+                           frontier.end());
+    w.visited.reserve(seen.size());
+    for (const auto& [s, _] : seen) w.visited.push_back(s);
+    w.states = result.states;
+    w.transitions = result.transitions;
+    w.depth = result.depth;
+    w.peak_frontier = result.peak_frontier;
+    w.deadlock_count = result.deadlock_count;
+    w.deadlock_found = result.deadlock_found;
+    w.first_deadlock = result.first_deadlock;
+  };
+
   while (!frontier.empty()) {
+    // The state cap is enforced here (not mid-fan) so a capped run stops on
+    // a state boundary with a consistent wavefront for checkpointing.
+    if (result.states >= opts.max_states) {
+      result.stop = util::StopReason::MaxStates;
+      capture_wavefront();
+      finish();
+      return result;  // complete stays false: partial result
+    }
     const util::BudgetStatus budget = tracker.check(result.states);
     if (budget.signal == util::BudgetSignal::MemoryPressure && recording) {
       // Graceful degradation: give the run a second life by releasing the
@@ -104,6 +163,7 @@ ExploreResult explore(acsr::Semantics& sem, TermId initial,
       tracker.note_degraded();
     } else if (budget.signal != util::BudgetSignal::Proceed) {
       result.stop = budget.reason;
+      capture_wavefront();
       finish();
       return result;  // complete stays false: partial result
     }
@@ -135,12 +195,6 @@ ExploreResult explore(acsr::Semantics& sem, TermId initial,
           parent.emplace(tr.target, std::make_pair(state, tr.label));
         ++result.states;
         ++next_level;
-        if (result.states >= opts.max_states) {
-          // Bailed out: leave `complete` false.
-          result.stop = util::StopReason::MaxStates;
-          finish();
-          return result;
-        }
         frontier.push_back(tr.target);
         result.peak_frontier =
             std::max<std::uint64_t>(result.peak_frontier, frontier.size());
@@ -175,11 +229,42 @@ ExploreResult explore_parallel(acsr::Context& ctx, TermId initial,
     sems.push_back(std::make_unique<acsr::Semantics>(ctx));
 
   util::ConcurrentSet visited(1u << 16, workers > 1 ? 64 : 1);
-  visited.insert(initial);
-  result.states = 1;
 
   std::unordered_map<TermId, std::pair<TermId, Label>> parent;
   bool recording = opts.record_trace;
+
+  // Current level plus, on a warm resume, the partially-discovered next
+  // level carried over from the paused run (it is already in `visited`, so
+  // it must be injected into the first merged frontier rather than
+  // rediscovered).
+  std::vector<TermId> level;
+  std::vector<TermId> carried;
+  if (opts.resume && !opts.resume->empty()) {
+    const Wavefront& w = *opts.resume;
+    result.initial = w.initial;
+    for (const TermId s : w.visited) visited.insert(s);
+    result.states = w.states;
+    result.transitions = w.transitions;
+    result.depth = w.depth;
+    result.peak_frontier = w.peak_frontier;
+    result.deadlock_count = w.deadlock_count;
+    result.deadlock_found = w.deadlock_found;
+    result.first_deadlock = w.first_deadlock;
+    recording = false;
+    if (!w.frontier.empty()) {
+      level = w.frontier;
+      carried = w.next_frontier;
+    } else {
+      // The stop fell on a level boundary: the next level becomes the
+      // current one, exactly as the cold loop would have rolled it.
+      level = w.next_frontier;
+      ++result.depth;
+    }
+  } else {
+    visited.insert(initial);
+    result.states = 1;
+    level.push_back(initial);
+  }
 
   // Budget governance. The coordinator runs the full tracker (clock +
   // memory probe) at level boundaries, where workers are quiescent; inside
@@ -235,8 +320,31 @@ ExploreResult explore_parallel(acsr::Context& ctx, TermId initial,
   }
 
   const std::size_t block = std::max<std::size_t>(1, popts.block);
-  std::vector<TermId> level{initial};
   bool exhausted = false;
+
+  // Snapshot the paused BFS for a later warm resume; runs while the pool is
+  // quiescent. `processed` is the expanded prefix of the current level.
+  const auto capture_wavefront = [&](std::size_t processed,
+                                     const std::vector<TermId>& next) {
+    if (!opts.capture) return;
+    Wavefront& w = *opts.capture;
+    w = {};
+    w.initial = result.initial;
+    w.frontier.assign(level.begin() + static_cast<std::ptrdiff_t>(processed),
+                      level.end());
+    w.next_frontier = next;
+    w.visited.reserve(visited.size());
+    visited.for_each([&](std::uint64_t k) {
+      w.visited.push_back(static_cast<TermId>(k));
+    });
+    w.states = result.states;
+    w.transitions = result.transitions;
+    w.depth = result.depth;
+    w.peak_frontier = result.peak_frontier;
+    w.deadlock_count = result.deadlock_count;
+    w.deadlock_found = result.deadlock_found;
+    w.first_deadlock = result.first_deadlock;
+  };
 
   const auto process_range = [&](acsr::Semantics& sem, WorkerOut& out,
                                  const std::vector<TermId>& lvl,
@@ -266,9 +374,16 @@ ExploreResult explore_parallel(acsr::Context& ctx, TermId initial,
       o.transitions = 0;
     }
 
+    // Expanded prefix of the level: blocks are handed out in order and a
+    // grabbed block always completes (the stop flag is only checked before
+    // a grab), so the processed states are exactly level[0, processed).
+    std::size_t processed = level.size();
     if (!pool || level.size() < popts.serial_frontier_threshold) {
       for (std::size_t b = 0; b < level.size(); b += block) {
-        if (!block_budget_ok()) break;
+        if (!block_budget_ok()) {
+          processed = b;
+          break;
+        }
         process_range(*sems[0], outs[0], level, b,
                       std::min(b + block, level.size()));
       }
@@ -283,6 +398,8 @@ ExploreResult explore_parallel(acsr::Context& ctx, TermId initial,
                         std::min(b + block, level.size()));
         }
       });
+      processed =
+          std::min(cursor.load(std::memory_order_relaxed), level.size());
     }
 
     // Merge the level: deadlocks first (earliest level-position wins so the
@@ -301,6 +418,11 @@ ExploreResult explore_parallel(acsr::Context& ctx, TermId initial,
       }
     }
     std::vector<TermId> next;
+    next.reserve(carried.size());
+    // States discovered for this level's successor by the run this one
+    // resumed: already in `visited`, so they only exist here.
+    next.insert(next.end(), carried.begin(), carried.end());
+    carried.clear();
     for (WorkerOut& out : outs) {
       for (const Discovery& d : out.discovered) {
         if (recording)
@@ -312,12 +434,13 @@ ExploreResult explore_parallel(acsr::Context& ctx, TermId initial,
 
     // A worker observed budget exhaustion mid-level: the partial level is
     // already merged (states/transitions/deadlocks found so far count);
-    // publish the reason and stop.
+    // publish the reason, checkpoint the unexpanded remainder and stop.
     {
       const auto ws = static_cast<util::StopReason>(
           worker_stop.load(std::memory_order_relaxed));
       if (ws != util::StopReason::None) {
         result.stop = ws;
+        capture_wavefront(processed, next);
         break;
       }
     }
@@ -325,6 +448,7 @@ ExploreResult explore_parallel(acsr::Context& ctx, TermId initial,
     if (result.deadlock_found && opts.stop_at_first_deadlock) break;
     if (result.states >= opts.max_states) {
       result.stop = util::StopReason::MaxStates;
+      capture_wavefront(level.size(), next);
       break;
     }
     if (next.empty()) {
@@ -343,6 +467,7 @@ ExploreResult explore_parallel(acsr::Context& ctx, TermId initial,
       tracker.note_degraded();
     } else if (budget.signal != util::BudgetSignal::Proceed) {
       result.stop = budget.reason;
+      capture_wavefront(level.size(), next);
       break;
     }
 

@@ -27,6 +27,34 @@
 
 namespace aadlsched::versa {
 
+/// A paused BFS: everything needed to continue an exploration later,
+/// possibly in a different process against a restored Context (see
+/// versa/checkpoint.hpp). The invariant both engines maintain is that every
+/// reachable-but-unvisited state is reachable through `frontier` ++
+/// `next_frontier`, so seeding a fresh run with (visited, frontier,
+/// counters) continues the exact same BFS — same final verdict and, on a
+/// run that completes the space, the same state/transition counts.
+struct Wavefront {
+  acsr::TermId initial = acsr::kNil;
+  /// Unexpanded remainder of the level being expanded when the run stopped
+  /// (in level order; may be empty when the stop fell on a level boundary).
+  std::vector<acsr::TermId> frontier;
+  /// States already discovered for the following level.
+  std::vector<acsr::TermId> next_frontier;
+  /// Every state ever discovered (includes the two frontiers).
+  std::vector<acsr::TermId> visited;
+  std::uint64_t states = 0;
+  std::uint64_t transitions = 0;
+  /// BFS depth of the level `frontier` belongs to.
+  std::uint64_t depth = 0;
+  std::uint64_t peak_frontier = 0;
+  std::uint64_t deadlock_count = 0;
+  bool deadlock_found = false;
+  acsr::TermId first_deadlock = acsr::kNil;
+
+  bool empty() const { return frontier.empty() && next_frontier.empty(); }
+};
+
 struct ExploreOptions {
   /// Stop after this many states (guards against runaway models).
   std::uint64_t max_states = 5'000'000;
@@ -43,6 +71,19 @@ struct ExploreOptions {
   /// recording is dropped (ExploreResult::trace_dropped) — and only stops
   /// when pressure persists. See DESIGN.md §10.
   util::RunBudget budget;
+
+  // --- warm re-exploration (checkpointing) -----------------------------
+  /// When non-null and the run stops on a budget (Deadline / MemoryBudget /
+  /// MaxStates / Cancelled / the RunBudget state cap), the engine writes
+  /// the paused BFS here so the caller can serialize it. Left empty on a
+  /// conclusive run (complete, or stopped at a deadlock).
+  Wavefront* capture = nullptr;
+  /// When non-null and non-empty, the run continues this wavefront instead
+  /// of starting from `initial`: the visited set, both frontiers and all
+  /// counters are seeded from it. A resumed run never records a trace (the
+  /// parent links of the original run are gone), so a deadlock found after
+  /// a resume reports without a counterexample timeline.
+  const Wavefront* resume = nullptr;
 };
 
 struct ParallelExploreOptions {

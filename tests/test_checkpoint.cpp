@@ -1,0 +1,483 @@
+// Warm re-exploration (DESIGN.md §12): checkpoint capture on budget-bound
+// runs, resume determinism (a resumed run must reach the exact verdict and
+// state counts a cold run reaches, and render a byte-identical canonical
+// result object), corruption fallback, and the versa-level serialize/parse
+// round trip. The parallel tests run under the tsan ctest label.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "core/analyzer.hpp"
+#include "core/result_json.hpp"
+#include "versa/checkpoint.hpp"
+
+namespace {
+
+using namespace aadlsched;
+
+// --- fixtures -----------------------------------------------------------
+
+/// Three rate-monotonic threads with execution-time ranges (so the space
+/// branches): 106 states cold, schedulable. Small enough for tight loops,
+/// big enough that a 40-state budget truncates mid-space.
+std::string medium_model() {
+  return R"(package Med
+public
+  processor CPU
+  properties
+    Scheduling_Protocol => RATE_MONOTONIC_PROTOCOL;
+  end CPU;
+  thread T1
+  end T1;
+  thread implementation T1.impl
+  properties
+    Dispatch_Protocol => Periodic;
+    Period => 5 ms;
+    Compute_Execution_Time => 1 ms .. 1 ms;
+    Deadline => 5 ms;
+  end T1.impl;
+  thread T2
+  end T2;
+  thread implementation T2.impl
+  properties
+    Dispatch_Protocol => Periodic;
+    Period => 10 ms;
+    Compute_Execution_Time => 2 ms .. 3 ms;
+    Deadline => 10 ms;
+  end T2.impl;
+  thread T3
+  end T3;
+  thread implementation T3.impl
+  properties
+    Dispatch_Protocol => Periodic;
+    Period => 20 ms;
+    Compute_Execution_Time => 3 ms .. 5 ms;
+    Deadline => 20 ms;
+  end T3.impl;
+  system App
+  end App;
+  system implementation App.impl
+  subcomponents
+    t1 : thread T1.impl;
+    t2 : thread T2.impl;
+    t3 : thread T3.impl;
+  end App.impl;
+  system Root
+  end Root;
+  system implementation Root.impl
+  subcomponents
+    app : system App.impl;
+    cpu : processor CPU;
+  properties
+    Actual_Processor_Binding => reference (cpu) applies to app;
+  end Root.impl;
+end Med;
+)";
+}
+
+/// Three independent processors, each with two range-time threads: ~7k
+/// states with a BFS frontier peaking over 1000 — wide enough that the
+/// parallel explorer's worker pool (not its narrow-level serial fallback)
+/// carries the bulk of the space.
+std::string wide_model() {
+  return R"(package Wide
+public
+  processor CPU
+  properties
+    Scheduling_Protocol => RATE_MONOTONIC_PROTOCOL;
+  end CPU;
+  thread W
+  end W;
+  thread implementation W.impl
+  properties
+    Dispatch_Protocol => Periodic;
+    Period => 8 ms;
+    Compute_Execution_Time => 1 ms .. 3 ms;
+    Deadline => 8 ms;
+  end W.impl;
+  thread V
+  end V;
+  thread implementation V.impl
+  properties
+    Dispatch_Protocol => Periodic;
+    Period => 12 ms;
+    Compute_Execution_Time => 2 ms .. 4 ms;
+    Deadline => 12 ms;
+  end V.impl;
+  system App
+  end App;
+  system implementation App.impl
+  subcomponents
+    w : thread W.impl;
+    v : thread V.impl;
+  end App.impl;
+  system Root
+  end Root;
+  system implementation Root.impl
+  subcomponents
+    a1 : system App.impl;
+    a2 : system App.impl;
+    a3 : system App.impl;
+    c1 : processor CPU;
+    c2 : processor CPU;
+    c3 : processor CPU;
+  properties
+    Actual_Processor_Binding => reference (c1) applies to a1;
+    Actual_Processor_Binding => reference (c2) applies to a2;
+    Actual_Processor_Binding => reference (c3) applies to a3;
+  end Root.impl;
+end Wide;
+)";
+}
+
+/// One overloaded thread: a deadline violation (deadlock) is reachable.
+std::string failing_model() {
+  return R"(package Bad
+public
+  processor CPU
+  properties
+    Scheduling_Protocol => RATE_MONOTONIC_PROTOCOL;
+  end CPU;
+  thread T
+  end T;
+  thread implementation T.impl
+  properties
+    Dispatch_Protocol => Periodic;
+    Period => 10 ms;
+    Compute_Execution_Time => 12 ms .. 12 ms;
+    Deadline => 10 ms;
+  end T.impl;
+  system App
+  end App;
+  system implementation App.impl
+  subcomponents
+    t : thread T.impl;
+  end App.impl;
+  system Root
+  end Root;
+  system implementation Root.impl
+  subcomponents
+    app : system App.impl;
+    cpu : processor CPU;
+  properties
+    Actual_Processor_Binding => reference (cpu) applies to app;
+  end Root.impl;
+end Bad;
+)";
+}
+
+core::AnalyzerOptions base_options() {
+  core::AnalyzerOptions opts;
+  opts.translation.quantum_ns = 1'000'000;  // the CLI's 1 ms default
+  opts.run_lint = false;  // the verdict must come from exploration
+  return opts;
+}
+
+/// `explore_ms` is the one canonical-result field that legitimately differs
+/// between two runs of the same analysis; everything else must be
+/// byte-identical.
+std::string normalize_explore_ms(std::string json) {
+  const std::string key = "\"explore_ms\": ";
+  const auto pos = json.find(key);
+  if (pos == std::string::npos) return json;
+  auto end = pos + key.size();
+  while (end < json.size() && json[end] != ',' && json[end] != '}') ++end;
+  json.replace(pos + key.size(), end - (pos + key.size()), "X");
+  return json;
+}
+
+// --- capture ------------------------------------------------------------
+
+TEST(Checkpoint, BudgetBoundRunCapturesACheckpoint) {
+  core::AnalyzerOptions opts = base_options();
+  opts.exploration.max_states = 40;
+  std::string blob;
+  opts.checkpoint_out = &blob;
+  opts.checkpoint_key = "test-key";
+
+  const auto r = core::analyze_source(medium_model(), "Root.impl", opts);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.outcome, core::Outcome::Inconclusive);
+  EXPECT_EQ(r.stop_reason, util::StopReason::MaxStates);
+  EXPECT_TRUE(r.checkpoint_captured);
+  EXPECT_FALSE(blob.empty());
+  EXPECT_EQ(blob.rfind("aadlsched-checkpoint v1", 0), 0u);
+  EXPECT_NE(r.summary().find("checkpoint captured at depth"),
+            std::string::npos);
+}
+
+TEST(Checkpoint, ConclusiveRunCapturesNothing) {
+  core::AnalyzerOptions opts = base_options();
+  std::string blob;
+  opts.checkpoint_out = &blob;
+
+  const auto r = core::analyze_source(medium_model(), "Root.impl", opts);
+  EXPECT_EQ(r.outcome, core::Outcome::Schedulable);
+  EXPECT_FALSE(r.checkpoint_captured);
+  EXPECT_TRUE(blob.empty());
+}
+
+TEST(Checkpoint, DeadlockedRunCapturesNothing) {
+  core::AnalyzerOptions opts = base_options();
+  std::string blob;
+  opts.checkpoint_out = &blob;
+
+  const auto r = core::analyze_source(failing_model(), "Root.impl", opts);
+  EXPECT_EQ(r.outcome, core::Outcome::NotSchedulable);  // conclusive
+  EXPECT_FALSE(r.checkpoint_captured);
+  EXPECT_TRUE(blob.empty());
+}
+
+// --- resume determinism -------------------------------------------------
+
+TEST(Checkpoint, ResumedVerdictIsByteIdenticalToCold) {
+  const auto cold =
+      core::analyze_source(medium_model(), "Root.impl", base_options());
+  ASSERT_EQ(cold.outcome, core::Outcome::Schedulable);
+
+  core::AnalyzerOptions bound = base_options();
+  bound.exploration.max_states = 40;
+  std::string blob;
+  bound.checkpoint_out = &blob;
+  ASSERT_TRUE(core::analyze_source(medium_model(), "Root.impl", bound)
+                  .checkpoint_captured);
+
+  core::AnalyzerOptions warm = base_options();
+  warm.resume_checkpoint = &blob;
+  const auto resumed = core::analyze_source(medium_model(), "Root.impl", warm);
+
+  EXPECT_TRUE(resumed.resumed);
+  EXPECT_GT(resumed.resumed_from_depth, 0u);
+  EXPECT_EQ(resumed.resumed_from_states, 40u);
+  EXPECT_NE(resumed.summary().find("resumed from depth"), std::string::npos);
+
+  // The acceptance bar: verdict, counts and the whole canonical result
+  // object match the cold run exactly (explore_ms aside).
+  EXPECT_EQ(resumed.outcome, cold.outcome);
+  EXPECT_EQ(resumed.states, cold.states);
+  EXPECT_EQ(resumed.transitions, cold.transitions);
+  EXPECT_EQ(resumed.depth, cold.depth);
+  EXPECT_EQ(normalize_explore_ms(core::render_result_json(resumed)),
+            normalize_explore_ms(core::render_result_json(cold)));
+}
+
+TEST(Checkpoint, ChainedResumesConverge) {
+  const auto cold =
+      core::analyze_source(medium_model(), "Root.impl", base_options());
+
+  // Chip away at the space in three installments; each bound run resumes
+  // the previous checkpoint and re-captures at its own budget.
+  std::string blob;
+  std::uint64_t budget = 30;
+  for (int round = 0; round < 2; ++round, budget += 30) {
+    core::AnalyzerOptions opts = base_options();
+    opts.exploration.max_states = budget;
+    std::string next;
+    opts.checkpoint_out = &next;
+    std::string prev = blob;  // keep alive across the run
+    if (!prev.empty()) opts.resume_checkpoint = &prev;
+    const auto r = core::analyze_source(medium_model(), "Root.impl", opts);
+    ASSERT_EQ(r.outcome, core::Outcome::Inconclusive);
+    ASSERT_TRUE(r.checkpoint_captured);
+    if (round > 0) EXPECT_TRUE(r.resumed);
+    blob = next;
+  }
+
+  core::AnalyzerOptions final_opts = base_options();
+  final_opts.resume_checkpoint = &blob;
+  const auto last =
+      core::analyze_source(medium_model(), "Root.impl", final_opts);
+  EXPECT_TRUE(last.resumed);
+  EXPECT_EQ(last.resumed_from_states, 60u);
+  EXPECT_EQ(last.outcome, cold.outcome);
+  EXPECT_EQ(last.states, cold.states);
+  EXPECT_EQ(last.transitions, cold.transitions);
+  EXPECT_EQ(last.depth, cold.depth);
+}
+
+TEST(Checkpoint, ResumeFindsDeadlockBeyondTheOldBudget) {
+  // The failing model deadlocks within a handful of states; bound the first
+  // run below that, then resume — the violation must still be found.
+  core::AnalyzerOptions bound = base_options();
+  bound.exploration.max_states = 2;
+  std::string blob;
+  bound.checkpoint_out = &blob;
+  const auto first =
+      core::analyze_source(failing_model(), "Root.impl", bound);
+  ASSERT_EQ(first.outcome, core::Outcome::Inconclusive);
+  ASSERT_FALSE(blob.empty());
+
+  core::AnalyzerOptions warm = base_options();
+  warm.resume_checkpoint = &blob;
+  const auto resumed =
+      core::analyze_source(failing_model(), "Root.impl", warm);
+  EXPECT_TRUE(resumed.resumed);
+  EXPECT_EQ(resumed.outcome, core::Outcome::NotSchedulable);
+  // A resumed run has no trace prefix (the parents predate the resume), so
+  // the counterexample timeline is unavailable — but the verdict stands.
+  EXPECT_FALSE(resumed.scenario.has_value());
+}
+
+// --- parallel engine ----------------------------------------------------
+
+TEST(Checkpoint, ParallelCaptureResumesToTheColdVerdict) {
+  core::AnalyzerOptions par = base_options();
+  par.parallel.workers = 4;
+  par.parallel.serial_frontier_threshold = 1;  // no serial-fallback window
+
+  const auto cold = core::analyze_source(wide_model(), "Root.impl", par);
+  ASSERT_EQ(cold.outcome, core::Outcome::Schedulable);
+
+  // Capture from the pool path.
+  core::AnalyzerOptions bound = par;
+  bound.exploration.max_states = 1500;
+  std::string blob;
+  bound.checkpoint_out = &blob;
+  const auto first = core::analyze_source(wide_model(), "Root.impl", bound);
+  ASSERT_EQ(first.outcome, core::Outcome::Inconclusive);
+  ASSERT_TRUE(first.checkpoint_captured);
+
+  // Resume on the parallel engine: byte-identical to the parallel cold run
+  // (the engines count peak_frontier differently — deque size vs level
+  // size — so byte-identity is a same-engine property).
+  core::AnalyzerOptions warm = par;
+  warm.resume_checkpoint = &blob;
+  const auto resumed = core::analyze_source(wide_model(), "Root.impl", warm);
+  EXPECT_TRUE(resumed.resumed);
+  EXPECT_EQ(resumed.outcome, cold.outcome);
+  EXPECT_EQ(resumed.states, cold.states);
+  EXPECT_EQ(resumed.transitions, cold.transitions);
+  EXPECT_EQ(resumed.depth, cold.depth);
+  EXPECT_EQ(normalize_explore_ms(core::render_result_json(resumed)),
+            normalize_explore_ms(core::render_result_json(cold)));
+
+  // The same checkpoint resumes on the serial engine too — the wavefront
+  // format is engine-agnostic; verdict and counts must agree.
+  core::AnalyzerOptions warm_serial = base_options();
+  warm_serial.resume_checkpoint = &blob;
+  const auto serial =
+      core::analyze_source(wide_model(), "Root.impl", warm_serial);
+  EXPECT_TRUE(serial.resumed);
+  EXPECT_EQ(serial.outcome, cold.outcome);
+  EXPECT_EQ(serial.states, cold.states);
+  EXPECT_EQ(serial.transitions, cold.transitions);
+  EXPECT_EQ(serial.depth, cold.depth);
+}
+
+TEST(Checkpoint, SerialCaptureResumesOnTheParallelEngine) {
+  const auto cold =
+      core::analyze_source(medium_model(), "Root.impl", base_options());
+
+  core::AnalyzerOptions bound = base_options();
+  bound.exploration.max_states = 40;
+  std::string blob;
+  bound.checkpoint_out = &blob;
+  ASSERT_TRUE(core::analyze_source(medium_model(), "Root.impl", bound)
+                  .checkpoint_captured);
+
+  core::AnalyzerOptions warm = base_options();
+  warm.parallel.workers = 4;
+  warm.parallel.serial_frontier_threshold = 1;
+  warm.resume_checkpoint = &blob;
+  const auto resumed = core::analyze_source(medium_model(), "Root.impl", warm);
+  EXPECT_TRUE(resumed.resumed);
+  EXPECT_EQ(resumed.outcome, cold.outcome);
+  EXPECT_EQ(resumed.states, cold.states);
+  EXPECT_EQ(resumed.transitions, cold.transitions);
+}
+
+// --- corruption fallback ------------------------------------------------
+
+TEST(Checkpoint, CorruptBlobFallsBackToAColdRun) {
+  core::AnalyzerOptions bound = base_options();
+  bound.exploration.max_states = 40;
+  std::string blob;
+  bound.checkpoint_out = &blob;
+  ASSERT_TRUE(core::analyze_source(medium_model(), "Root.impl", bound)
+                  .checkpoint_captured);
+
+  std::string corrupt = blob;
+  corrupt[corrupt.size() / 2] ^= 0x20;  // flip one payload bit
+
+  core::AnalyzerOptions warm = base_options();
+  warm.resume_checkpoint = &corrupt;
+  const auto r = core::analyze_source(medium_model(), "Root.impl", warm);
+  EXPECT_FALSE(r.resumed);  // fell back
+  EXPECT_EQ(r.outcome, core::Outcome::Schedulable);  // cold run still decides
+  EXPECT_NE(r.diagnostics.find("checkpoint rejected"), std::string::npos);
+  EXPECT_NE(r.diagnostics.find("falling back to a cold run"),
+            std::string::npos);
+}
+
+TEST(Checkpoint, TruncatedAndGarbageBlobsFallBack) {
+  core::AnalyzerOptions bound = base_options();
+  bound.exploration.max_states = 40;
+  std::string blob;
+  bound.checkpoint_out = &blob;
+  ASSERT_TRUE(core::analyze_source(medium_model(), "Root.impl", bound)
+                  .checkpoint_captured);
+
+  for (const std::string bad :
+       {blob.substr(0, blob.size() / 3), std::string("not a checkpoint"),
+        std::string("aadlsched-checkpoint v1\nkey -\n")}) {
+    core::AnalyzerOptions warm = base_options();
+    warm.resume_checkpoint = &bad;
+    const auto r = core::analyze_source(medium_model(), "Root.impl", warm);
+    EXPECT_FALSE(r.resumed);
+    EXPECT_EQ(r.outcome, core::Outcome::Schedulable);
+  }
+}
+
+// --- versa-level round trip ---------------------------------------------
+
+TEST(Checkpoint, VersaParseRoundTripPreservesTheWavefront) {
+  core::AnalyzerOptions bound = base_options();
+  bound.exploration.max_states = 40;
+  std::string blob;
+  bound.checkpoint_out = &blob;
+  bound.checkpoint_key = "fingerprint-options";
+  const auto r = core::analyze_source(medium_model(), "Root.impl", bound);
+  ASSERT_TRUE(r.checkpoint_captured);
+
+  std::string error;
+  const auto restored = versa::parse_checkpoint(blob, error);
+  ASSERT_TRUE(restored.has_value()) << error;
+  EXPECT_EQ(restored->key, "fingerprint-options");
+  EXPECT_EQ(restored->wave.states, r.states);
+  EXPECT_EQ(restored->wave.transitions, r.transitions);
+  EXPECT_EQ(restored->wave.depth, r.depth);
+  EXPECT_EQ(restored->wave.visited.size(), r.states);
+  EXPECT_FALSE(restored->wave.empty());
+  EXPECT_NE(restored->wave.initial, acsr::kInvalidTerm);
+
+  // Re-serializing the restored wavefront must parse again (the round trip
+  // is closed, not merely one-way).
+  const std::string again = versa::serialize_checkpoint(
+      *restored->ctx, restored->wave, restored->key);
+  std::string error2;
+  const auto twice = versa::parse_checkpoint(again, error2);
+  ASSERT_TRUE(twice.has_value()) << error2;
+  EXPECT_EQ(twice->wave.states, restored->wave.states);
+  EXPECT_EQ(twice->wave.visited.size(), restored->wave.visited.size());
+  EXPECT_EQ(twice->wave.frontier.size(), restored->wave.frontier.size());
+  EXPECT_EQ(twice->wave.next_frontier.size(),
+            restored->wave.next_frontier.size());
+}
+
+TEST(Checkpoint, DigestMismatchIsRejectedBeforeParsing) {
+  core::AnalyzerOptions bound = base_options();
+  bound.exploration.max_states = 40;
+  std::string blob;
+  bound.checkpoint_out = &blob;
+  ASSERT_TRUE(core::analyze_source(medium_model(), "Root.impl", bound)
+                  .checkpoint_captured);
+
+  std::string corrupt = blob;
+  corrupt[corrupt.find("stats ") + 6] ^= 1;  // damage a counter digit
+  std::string error;
+  EXPECT_FALSE(versa::parse_checkpoint(corrupt, error).has_value());
+  EXPECT_NE(error.find("digest"), std::string::npos);
+}
+
+}  // namespace

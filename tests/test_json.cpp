@@ -38,6 +38,41 @@ TEST(JsonParse, StringEscapes) {
   EXPECT_EQ(parse_json("\"\xc3\xa9\"")->as_string(), "\xc3\xa9");
 }
 
+TEST(JsonParse, SurrogatePairsDecodeToSupplementaryCodePoints) {
+  // U+1F600 (😀) = \uD83D\uDE00 → one 4-byte UTF-8 sequence, not the
+  // CESU-8 pair of 3-byte surrogate encodings the parser used to emit.
+  EXPECT_EQ(parse_json("\"\\uD83D\\uDE00\"")->as_string(),
+            "\xf0\x9f\x98\x80");
+  // U+10000, the first supplementary code point (boundary case).
+  EXPECT_EQ(parse_json("\"\\uD800\\uDC00\"")->as_string(),
+            "\xf0\x90\x80\x80");
+  // U+10FFFF, the last code point (high/low surrogates both at max).
+  EXPECT_EQ(parse_json("\"\\uDBFF\\uDFFF\"")->as_string(),
+            "\xf4\x8f\xbf\xbf");
+  // Surrounding text survives the pair.
+  EXPECT_EQ(parse_json("\"a\\uD83D\\uDE00b\"")->as_string(),
+            "a\xf0\x9f\x98\x80"
+            "b");
+}
+
+TEST(JsonParse, LoneSurrogatesAreParseErrors) {
+  std::string error;
+  // Lone high surrogate (end of string, non-escape follower, wrong escape).
+  EXPECT_FALSE(parse_json("\"\\uD83D\"", &error).has_value());
+  EXPECT_NE(error.find("surrogate"), std::string::npos);
+  EXPECT_FALSE(parse_json("\"\\uD83Dxy\"").has_value());
+  EXPECT_FALSE(parse_json("\"\\uD83D\\n\"").has_value());
+  // High surrogate followed by a \u escape that is not a low surrogate.
+  EXPECT_FALSE(parse_json("\"\\uD83D\\u0041\"").has_value());
+  // High surrogate followed by another high surrogate.
+  EXPECT_FALSE(parse_json("\"\\uD83D\\uD83D\"").has_value());
+  // Lone low surrogate.
+  EXPECT_FALSE(parse_json("\"\\uDE00\"", &error).has_value());
+  EXPECT_NE(error.find("surrogate"), std::string::npos);
+  // Truncated second escape.
+  EXPECT_FALSE(parse_json("\"\\uD83D\\uDE\"").has_value());
+}
+
 TEST(JsonParse, NestedStructure) {
   const auto v = parse_json(
       R"({"a": [1, 2, {"b": true}], "c": {"d": null}, "e": "x"})");

@@ -203,6 +203,233 @@ TEST(Service, DiskTierSurvivesRestart) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(Service, StaleTmpFilesAreSweptOnConstruction) {
+  char tmpl[] = "/tmp/aadlsched_cache_XXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl), nullptr);
+  const std::string dir = tmpl;
+
+  // Leftovers of writers that died between the tmp write and the rename —
+  // one per cache tier — plus a legitimate final file that must survive.
+  std::ofstream(dir + "/deadbeef.json.tmp.4242") << "{\"torn\":";
+  std::ofstream(dir + "/deadbeef.ckpt.tmp.4242") << "partial";
+  std::ofstream(dir + "/keepme.json") << "{\"outcome\": \"schedulable\"}";
+
+  ServiceConfig cfg;
+  cfg.cache.disk_dir = dir;
+  Service svc(cfg);
+
+  EXPECT_FALSE(std::filesystem::exists(dir + "/deadbeef.json.tmp.4242"));
+  EXPECT_FALSE(std::filesystem::exists(dir + "/deadbeef.ckpt.tmp.4242"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/keepme.json"));
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Service, CorruptDiskEntriesAreQuarantinedOnLoad) {
+  char tmpl[] = "/tmp/aadlsched_cache_XXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl), nullptr);
+  const std::string dir = tmpl;
+
+  ServiceConfig cfg;
+  cfg.cache.disk_dir = dir;
+  std::string entry_path;
+  {
+    Service first(cfg);
+    ASSERT_FALSE(first.handle(analyze(tiny_model(2, 10, 10))).cached);
+    for (const auto& ent : std::filesystem::directory_iterator(dir))
+      if (ent.path().extension() == ".json") entry_path = ent.path();
+    ASSERT_FALSE(entry_path.empty());
+  }
+  // Corrupt the stored verdict (torn write, disk damage, foreign bytes).
+  std::ofstream(entry_path, std::ios::trunc) << "{\"outcome\": \"sched";
+
+  Service second(cfg);
+  const Response resp = second.handle(analyze(tiny_model(2, 10, 10)));
+  ASSERT_TRUE(resp.ok);
+  // Exactly one miss: the corrupt file was rejected, deleted, and the
+  // fresh run re-stored a good copy.
+  EXPECT_FALSE(resp.cached);
+  const auto s = stats_of(second);
+  EXPECT_EQ(stat(s, "cache", "corrupt_evictions"), 1);
+  EXPECT_EQ(stat(s, "cache", "misses"), 1);
+  EXPECT_EQ(stat(s, "cache", "stores"), 1);
+  // Self-healed: the rewritten entry parses and serves.
+  Service third(cfg);
+  EXPECT_TRUE(third.handle(analyze(tiny_model(2, 10, 10))).cached);
+  EXPECT_EQ(stat(stats_of(third), "cache", "corrupt_evictions"), 0);
+
+  std::filesystem::remove_all(dir);
+}
+
+// --- warm re-exploration (checkpoint tier) ------------------------------
+
+/// tiny_model(2, 10, 10) explores 13 states cold; a 5-state budget
+/// truncates it mid-space.
+Request bounded(const std::string& model, std::uint64_t max_states) {
+  Request req = analyze(model);
+  req.options.max_states = max_states;
+  return req;
+}
+
+TEST(Service, BudgetBoundRunStoresACheckpointAndResumeFinishes) {
+  Service svc;
+  const std::string model = tiny_model(2, 10, 10);
+
+  const Response bound = svc.handle(bounded(model, 5));
+  ASSERT_TRUE(bound.ok);
+  EXPECT_EQ(bound.outcome, core::Outcome::Inconclusive);
+  EXPECT_TRUE(bound.checkpoint_captured);
+  EXPECT_FALSE(bound.resumed);
+  {
+    const auto s = stats_of(svc);
+    EXPECT_EQ(stat(s, "checkpoints", "stores"), 1);
+    EXPECT_EQ(stat(s, "checkpoints", "entries"), 1);
+  }
+
+  Request again = analyze(model);
+  again.resume = true;
+  const Response warm = svc.handle(again);
+  ASSERT_TRUE(warm.ok);
+  EXPECT_EQ(warm.outcome, core::Outcome::Schedulable);
+  EXPECT_TRUE(warm.resumed);
+  EXPECT_GT(warm.resumed_depth, 0u);
+
+  const auto s = stats_of(svc);
+  EXPECT_EQ(stat(s, "checkpoints", "hits"), 1);
+  EXPECT_EQ(stat(s, "checkpoints", "resume_failures"), 0);
+  // The conclusive verdict superseded the wavefront.
+  EXPECT_EQ(stat(s, "checkpoints", "entries"), 0);
+
+  // The resumed verdict is cached like any other conclusive result.
+  EXPECT_TRUE(svc.handle(analyze(model)).cached);
+}
+
+TEST(Service, ResumeWithoutACheckpointRunsColdAndCountsAMiss) {
+  Service svc;
+  Request req = analyze(tiny_model(2, 10, 10));
+  req.resume = true;
+  const Response resp = svc.handle(req);
+  ASSERT_TRUE(resp.ok);
+  EXPECT_EQ(resp.outcome, core::Outcome::Schedulable);
+  EXPECT_FALSE(resp.resumed);
+  const auto s = stats_of(svc);
+  EXPECT_EQ(stat(s, "checkpoints", "misses"), 1);
+  EXPECT_EQ(stat(s, "checkpoints", "hits"), 0);
+}
+
+TEST(Service, NoCheckpointRequestSkipsTheCapture) {
+  Service svc;
+  const std::string model = tiny_model(2, 10, 10);
+  Request req = bounded(model, 5);
+  req.no_checkpoint = true;
+  EXPECT_EQ(svc.handle(req).outcome, core::Outcome::Inconclusive);
+  EXPECT_FALSE(svc.handle(req).checkpoint_captured);
+  const auto s = stats_of(svc);
+  EXPECT_EQ(stat(s, "checkpoints", "stores"), 0);
+  EXPECT_EQ(stat(s, "checkpoints", "entries"), 0);
+}
+
+TEST(Service, CheckpointsDisabledServiceWideNeverStore) {
+  ServiceConfig cfg;
+  cfg.cache.checkpoints = false;
+  Service svc(cfg);
+  const std::string model = tiny_model(2, 10, 10);
+  EXPECT_FALSE(svc.handle(bounded(model, 5)).checkpoint_captured);
+  Request again = analyze(model);
+  again.resume = true;
+  EXPECT_FALSE(svc.handle(again).resumed);
+  const auto s = stats_of(svc);
+  EXPECT_EQ(stat(s, "checkpoints", "stores"), 0);
+  EXPECT_EQ(stat(s, "checkpoints", "hits"), 0);
+}
+
+TEST(Service, CheckpointsSurviveADaemonRestart) {
+  char tmpl[] = "/tmp/aadlsched_cache_XXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl), nullptr);
+  const std::string dir = tmpl;
+
+  ServiceConfig cfg;
+  cfg.cache.disk_dir = dir;
+  const std::string model = tiny_model(2, 10, 10);
+  {
+    Service first(cfg);
+    ASSERT_TRUE(first.handle(bounded(model, 5)).checkpoint_captured);
+  }  // "daemon restart"
+
+  Service second(cfg);
+  Request again = analyze(model);
+  again.resume = true;
+  const Response warm = second.handle(again);
+  ASSERT_TRUE(warm.ok);
+  EXPECT_TRUE(warm.resumed);
+  EXPECT_EQ(warm.outcome, core::Outcome::Schedulable);
+  EXPECT_EQ(stat(stats_of(second), "checkpoints", "hits"), 1);
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Service, CorruptCheckpointOnDiskFallsBackColdAndIsErased) {
+  char tmpl[] = "/tmp/aadlsched_cache_XXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl), nullptr);
+  const std::string dir = tmpl;
+
+  ServiceConfig cfg;
+  cfg.cache.disk_dir = dir;
+  const std::string model = tiny_model(2, 10, 10);
+  std::string ckpt_path;
+  {
+    Service first(cfg);
+    ASSERT_TRUE(first.handle(bounded(model, 5)).checkpoint_captured);
+    for (const auto& ent : std::filesystem::directory_iterator(dir))
+      if (ent.path().extension() == ".ckpt") ckpt_path = ent.path();
+    ASSERT_FALSE(ckpt_path.empty());
+  }
+  std::ofstream(ckpt_path, std::ios::trunc) << "garbage, not a checkpoint";
+
+  Service second(cfg);
+  Request again = analyze(model);
+  again.resume = true;
+  const Response resp = second.handle(again);
+  ASSERT_TRUE(resp.ok);
+  // The digest check rejected the blob; the run fell back cold and still
+  // reached the verdict.
+  EXPECT_FALSE(resp.resumed);
+  EXPECT_EQ(resp.outcome, core::Outcome::Schedulable);
+  const auto s = stats_of(second);
+  EXPECT_EQ(stat(s, "checkpoints", "hits"), 1);  // the bytes were served
+  EXPECT_EQ(stat(s, "checkpoints", "resume_failures"), 1);
+  EXPECT_EQ(stat(s, "checkpoints", "entries"), 0);  // and then erased
+  EXPECT_FALSE(std::filesystem::exists(ckpt_path));
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Service, CheckpointDiskCapEvictsOldestFirst) {
+  char tmpl[] = "/tmp/aadlsched_cache_XXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl), nullptr);
+  const std::string dir = tmpl;
+
+  ServiceConfig cfg;
+  cfg.cache.disk_dir = dir;
+  cfg.cache.checkpoint_disk_cap = 2;
+  Service svc(cfg);
+  // Three distinct models, three budget-bound runs: the cap keeps two.
+  for (int period : {10, 20, 40})
+    ASSERT_TRUE(
+        svc.handle(bounded(tiny_model(2, period, period), 5))
+            .checkpoint_captured);
+  std::size_t ckpt_files = 0;
+  for (const auto& ent : std::filesystem::directory_iterator(dir))
+    if (ent.path().extension() == ".ckpt") ++ckpt_files;
+  EXPECT_EQ(ckpt_files, 2u);
+  const auto s = stats_of(svc);
+  EXPECT_EQ(stat(s, "checkpoints", "stores"), 3);
+  EXPECT_EQ(stat(s, "checkpoints", "entries"), 2);
+  EXPECT_GE(stat(s, "checkpoints", "evictions"), 1);
+
+  std::filesystem::remove_all(dir);
+}
+
 TEST(Service, IdenticalInFlightRequestsCoalesce) {
   ServiceConfig cfg;
   cfg.workers = 1;

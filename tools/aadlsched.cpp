@@ -43,6 +43,16 @@
 //                          --stats / --shutdown, query or stop the daemon.
 //   --no-cache             (with --connect) force a fresh exploration,
 //                          bypassing the daemon's result cache
+//   --checkpoint-file <f>  (local) when a budget truncates the run, save a
+//                          warm-restart checkpoint (translated ACSR module
+//                          + BFS wavefront, DESIGN.md §12) to <f>
+//   --resume               resume a budget-bound run: locally, restore the
+//                          --checkpoint-file wavefront instead of starting
+//                          cold; with --connect, ask the daemon for its
+//                          stored checkpoint. A checkpoint that fails
+//                          validation falls back to a cold run.
+//   --no-checkpoint        never capture a checkpoint (locally: even with
+//                          --checkpoint-file; daemon: skip the store)
 //
 // SIGINT flips the cooperative CancelToken: the run stops at the next
 // budget check and still prints the partial summary (exit 3). A second
@@ -86,11 +96,13 @@ int usage() {
       "                 [--late-completion] [--max-states n] [--workers n]\n"
       "                 [--deadline-ms n] [--memory-budget-mb n]\n"
       "                 [--lint] [--lint-format text|json] [--no-lint]\n"
-      "                 [--json]\n"
+      "                 [--json] [--checkpoint-file f] [--resume]\n"
+      "                 [--no-checkpoint]\n"
       "       aadlsched --batch <list> [--batch-workers n] [--keep-going]\n"
       "                 [--report file] [common options]\n"
       "       aadlsched --connect <host:port> <model.aadl>... <Root.impl>\n"
-      "                 [--no-cache] [common options]\n"
+      "                 [--no-cache] [--resume] [--no-checkpoint]\n"
+      "                 [common options]\n"
       "       aadlsched --connect <host:port> --stats | --shutdown\n";
   return 2;
 }
@@ -272,8 +284,8 @@ server::RequestOptions to_request_options(const core::AnalyzerOptions& opts) {
 /// local `aadlsched --json` run byte for byte.
 int run_connect(const std::string& endpoint,
                 const std::vector<std::string>& files, const std::string& root,
-                const core::AnalyzerOptions& opts, bool no_cache,
-                bool want_stats, bool want_shutdown) {
+                const core::AnalyzerOptions& opts, bool no_cache, bool resume,
+                bool no_checkpoint, bool want_stats, bool want_shutdown) {
   std::string host;
   std::uint16_t port = 0;
   if (!server::parse_endpoint(endpoint, host, port)) {
@@ -291,6 +303,8 @@ int run_connect(const std::string& endpoint,
     req.op = server::Op::Analyze;
     req.root = root;
     req.no_cache = no_cache;
+    req.resume = resume;
+    req.no_checkpoint = no_checkpoint;
     req.options = to_request_options(opts);
     // The daemon parses one text; AADL packages concatenate cleanly, so a
     // multi-file model becomes one request body.
@@ -338,7 +352,13 @@ int run_connect(const std::string& endpoint,
   std::cerr << "served in " << resp->served_ms << " ms ("
             << (resp->cached ? ("cached: " + resp->cache_tier)
                              : std::string("explored"))
-            << ", fingerprint " << resp->fingerprint << ")\n";
+            << ", fingerprint " << resp->fingerprint << ")";
+  if (resp->resumed)
+    std::cerr << ", resumed from depth " << resp->resumed_depth;
+  if (resp->checkpoint_captured)
+    std::cerr << ", checkpoint captured (resubmit with --resume and a larger "
+                 "budget to continue)";
+  std::cerr << "\n";
   std::cout << resp->result_json << "\n";
   return exit_code_for(resp->outcome);
 }
@@ -416,6 +436,9 @@ int main(int argc, char** argv) {
   bool connect_stats = false;
   bool connect_shutdown = false;
   bool no_cache = false;
+  std::string checkpoint_file;
+  bool resume = false;
+  bool no_checkpoint = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -478,6 +501,12 @@ int main(int argc, char** argv) {
       connect_shutdown = true;
     } else if (arg == "--no-cache") {
       no_cache = true;
+    } else if (arg == "--checkpoint-file" && i + 1 < argc) {
+      checkpoint_file = argv[++i];
+    } else if (arg == "--resume") {
+      resume = true;
+    } else if (arg == "--no-checkpoint") {
+      no_checkpoint = true;
     } else if (arg == "--lint") {
       lint_only = true;
     } else if (arg == "--no-lint") {
@@ -512,13 +541,18 @@ int main(int argc, char** argv) {
       std::cerr << "--connect and --batch are mutually exclusive\n";
       return usage();
     }
+    if (!checkpoint_file.empty()) {
+      std::cerr << "--checkpoint-file is local-only (the daemon keeps its "
+                   "own checkpoint store); use --resume/--no-checkpoint\n";
+      return usage();
+    }
     if (connect_stats || connect_shutdown) {
       if (!files.empty() || !root.empty()) return usage();
     } else if (files.empty() || root.empty()) {
       return usage();
     }
-    return run_connect(connect_endpoint, files, root, opts, no_cache,
-                       connect_stats, connect_shutdown);
+    return run_connect(connect_endpoint, files, root, opts, no_cache, resume,
+                       no_checkpoint, connect_stats, connect_shutdown);
   }
   if (connect_stats || connect_shutdown || no_cache) {
     std::cerr << "--stats/--shutdown/--no-cache require --connect\n";
@@ -530,10 +564,19 @@ int main(int argc, char** argv) {
       std::cerr << "--batch takes its models from the list file\n";
       return usage();
     }
+    if (!checkpoint_file.empty() || resume || no_checkpoint) {
+      std::cerr << "checkpoint flags are per-model; they do not compose "
+                   "with --batch\n";
+      return usage();
+    }
     return run_batch(batch_list, batch_workers, keep_going, report_path,
                      opts);
   }
   if (files.empty() || root.empty()) return usage();
+  if (resume && checkpoint_file.empty()) {
+    std::cerr << "--resume needs --checkpoint-file (or --connect)\n";
+    return usage();
+  }
 
   // Parse all files into one model (multi-file packages supported).
   util::DiagnosticEngine diags(files.front());
@@ -624,11 +667,44 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Warm re-exploration (DESIGN.md §12): wire the checkpoint file into the
+  // analyzer. Capture and resume are independent — a resumed run that hits
+  // the (larger) budget again re-captures, so very large spaces can be
+  // chipped away across invocations.
+  std::string checkpoint_blob;
+  std::string resume_blob;
+  if (!checkpoint_file.empty() && !no_checkpoint)
+    opts.checkpoint_out = &checkpoint_blob;
+  if (resume) {
+    const auto text = read_file(checkpoint_file);
+    if (text) {
+      resume_blob = *text;
+      opts.resume_checkpoint = &resume_blob;
+    } else {
+      std::cerr << "cannot read checkpoint '" << checkpoint_file
+                << "'; running cold\n";
+    }
+  }
+
   const core::AnalysisResult result = core::analyze_instance(*instance, opts);
   if (!result.diagnostics.empty()) std::cerr << result.diagnostics;
-  if (json_out)
+  if (result.checkpoint_captured && !checkpoint_blob.empty()) {
+    std::ofstream out(checkpoint_file, std::ios::trunc | std::ios::binary);
+    if (out) {
+      out << checkpoint_blob;
+      std::cerr << "checkpoint written to " << checkpoint_file << "\n";
+    } else {
+      std::cerr << "cannot write checkpoint '" << checkpoint_file << "'\n";
+    }
+  }
+  if (json_out) {
+    // The resume note is part of summary(); --json output must stay the
+    // canonical byte-identical object, so surface it on stderr instead.
+    if (result.resumed)
+      std::cerr << "resumed from depth " << result.resumed_from_depth << "\n";
     std::cout << core::render_result_json(result) << "\n";
-  else
+  } else {
     std::cout << result.summary() << "\n";
+  }
   return exit_code_for(result.outcome);
 }

@@ -17,6 +17,13 @@
 //                            applied to requests that ask for no limit
 //   --max-states <n>         cap on any request's state budget
 //   --memory-budget-mb <n>   cap on any request's memory budget
+//   --no-checkpoint          disable the warm re-exploration checkpoint
+//                            store (DESIGN.md §12); budget-bound runs are
+//                            not checkpointed and "resume" requests miss
+//   --checkpoint-capacity <n> in-memory checkpoint entries (default 4 —
+//                            checkpoints are large)
+//   --checkpoint-disk-cap <n> max .ckpt files kept in --cache-dir
+//                            (default 16; oldest evicted first)
 //
 // On startup the daemon prints exactly one line
 //   aadlschedd listening on HOST:PORT
@@ -50,7 +57,8 @@ int usage() {
       "usage: aadlschedd [--host addr] [--port n] [--workers n]\n"
       "                  [--cache-capacity n] [--cache-dir dir]\n"
       "                  [--max-deadline-ms n] [--max-states n]\n"
-      "                  [--memory-budget-mb n]\n";
+      "                  [--memory-budget-mb n] [--no-checkpoint]\n"
+      "                  [--checkpoint-capacity n] [--checkpoint-disk-cap n]\n";
   return 2;
 }
 
@@ -112,6 +120,18 @@ int main(int argc, char** argv) {
                                   1'000'000'000);
       if (!n) return usage();
       cfg.memory_budget_mb_cap = static_cast<std::uint64_t>(*n);
+    } else if (arg == "--no-checkpoint") {
+      cfg.cache.checkpoints = false;
+    } else if (arg == "--checkpoint-capacity" && i + 1 < argc) {
+      const auto n = parse_option("--checkpoint-capacity", argv[++i], 0,
+                                  1'000'000);
+      if (!n) return usage();
+      cfg.cache.checkpoint_memory_capacity = static_cast<std::size_t>(*n);
+    } else if (arg == "--checkpoint-disk-cap" && i + 1 < argc) {
+      const auto n = parse_option("--checkpoint-disk-cap", argv[++i], 0,
+                                  1'000'000);
+      if (!n) return usage();
+      cfg.cache.checkpoint_disk_cap = static_cast<std::size_t>(*n);
     } else {
       std::cerr << "unknown option '" << arg << "'\n";
       return usage();

@@ -3,8 +3,9 @@
 # bench binaries in --json mode and leave google-benchmark JSON reports
 # next to the build for CI to archive:
 #
-#   BENCH_explore.json   state-space exploration timings (bench_statespace)
-#   BENCH_service.json   service serve-path timings      (bench_service)
+#   BENCH_explore.json     state-space exploration timings  (bench_statespace)
+#   BENCH_service.json     service serve-path timings       (bench_service)
+#   BENCH_checkpoint.json  checkpoint capture/resume timings (bench_checkpoint)
 #
 # Usage: run_benches.sh <build-dir> [--smoke] [--out <dir>]
 #
@@ -47,4 +48,5 @@ EOF
 
 run bench_statespace BENCH_explore.json
 run bench_service BENCH_service.json
+run bench_checkpoint BENCH_checkpoint.json
 echo "benchmark reports written to $out"
