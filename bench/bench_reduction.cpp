@@ -1,0 +1,198 @@
+// E11 — the reduction-layer ablation (DESIGN.md §13): symmetry
+// canonicalization and commutation linearization, separately and together,
+// on the symmetric fixture translated with uniform instants (the one
+// configuration where the reductions have anything to do). Reported per
+// variant: orbit representatives visited, raw states folded away, fans
+// linearized, bytes per stored state, wall time. The acceptance bar —
+// >= 2x fewer states with both reductions on — is pinned as a functional
+// test in test_reduction.cpp; this bench measures how far past the bar the
+// layer lands and what it costs.
+//
+// A second series measures compact state storage on storm.aadl (bounded):
+// reductions are inert under the default ordered-instants translation, so
+// bytes/state there isolates the storage representation itself.
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bench_common.hpp"
+#include "versa/reduction.hpp"
+
+namespace {
+
+using namespace aadlsched;
+
+std::string read_model(const char* file) {
+  std::ifstream in(std::string(AADLSCHED_MODELS_DIR) + "/" + file);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+struct Run {
+  std::uint64_t states = 0;
+  std::uint64_t states_saved = 0;
+  std::uint64_t commuted = 0;
+  std::uint64_t memory_bytes = 0;
+  double ms = 0;
+  bool schedulable = false;
+
+  double bytes_per_state() const {
+    return states ? static_cast<double>(memory_bytes) /
+                        static_cast<double>(states)
+                  : 0.0;
+  }
+};
+
+/// Pipeline with an explicit reduction configuration. `enable` builds the
+/// SymmetryModel from the translator's detected groups; with it false the
+/// run is the reduction-free control (exactly --no-reduction).
+Run run_once(const std::string& src, const char* root, bool ordered,
+             bool enable, versa::ReductionOptions red,
+             std::uint64_t max_states = 0) {
+  Run out;
+  util::DiagnosticEngine diags("bench.aadl");
+  aadl::Model model;
+  if (!aadl::parse_aadl(model, src, diags)) return out;
+  auto inst = aadl::instantiate(model, root, diags);
+  if (!inst || diags.has_errors()) return out;
+  acsr::Context ctx;
+  translate::TranslateOptions topts;
+  topts.quantum_ns = 1'000'000;
+  topts.ordered_instants = ordered;
+  auto tr = translate::translate(ctx, *inst, diags, topts);
+  if (!tr) return out;
+
+  versa::ExploreOptions eopts;
+  if (max_states) eopts.max_states = max_states;
+  versa::SymmetryModel sym;
+  if (enable) {
+    std::vector<std::vector<std::string>> role_groups;
+    for (const auto& g : tr->symmetry.groups) role_groups.push_back(g.roles);
+    sym = versa::SymmetryModel::build(ctx, role_groups,
+                                      tr->symmetry.uniform_dispatch);
+    eopts.symmetry_model = &sym;
+    eopts.reduction = red;
+  }
+
+  acsr::Semantics sem(ctx);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto r = versa::explore(sem, tr->initial, eopts);
+  out.ms = std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+               .count();
+  out.states = r.states;
+  out.states_saved = r.states_saved;
+  out.commuted = r.commuted_expansions;
+  out.memory_bytes = r.approx_memory_bytes;
+  out.schedulable = r.schedulable();
+  return out;
+}
+
+const struct Variant {
+  const char* name;
+  bool enable;
+  versa::ReductionOptions red;
+} kVariants[] = {
+    {"none", false, {false, false}},
+    {"symmetry only", true, {true, false}},
+    {"commutation only", true, {false, true}},
+    {"symmetry + commutation", true, {true, true}},
+};
+
+void print_table() {
+  bench::print_header(
+      "E11: reduction ablation and compact state storage",
+      "symmetry + commutation cut the symmetric fixture's uniform-instant "
+      "space by >= 2x; bytes/state measures the arena representation");
+
+  const std::string sym_src = read_model("symmetric.aadl");
+  std::printf("symmetric.aadl, uniform instants (8 interchangeable threads):\n");
+  std::printf("%-24s %10s %12s %10s %12s %10s\n", "variant", "states",
+              "states_saved", "commuted", "bytes/state", "time_ms");
+  for (const Variant& v : kVariants) {
+    const Run r = run_once(sym_src, "Symmetric.impl", false, v.enable, v.red);
+    std::printf("%-24s %10llu %12llu %10llu %12.1f %10.2f\n", v.name,
+                static_cast<unsigned long long>(r.states),
+                static_cast<unsigned long long>(r.states_saved),
+                static_cast<unsigned long long>(r.commuted),
+                r.bytes_per_state(), r.ms);
+  }
+
+  std::printf(
+      "\ndefault translation (reductions inert under ordered instants;\n"
+      "bytes/state isolates the storage representation, storm 20k-bound):\n");
+  std::printf("%-18s %-18s %10s %12s %10s\n", "model", "variant", "states",
+              "bytes/state", "time_ms");
+  const struct {
+    const char* file;
+    const char* root;
+    std::uint64_t bound;
+  } kStorage[] = {
+      {"cruise_control.aadl", "CruiseControlSystem.impl", 0},
+      {"storm.aadl", "Storm.impl", 20'000},
+  };
+  for (const auto& m : kStorage) {
+    const std::string src = read_model(m.file);
+    for (const bool enable : {false, true}) {
+      const Run r = run_once(src, m.root, true, enable, {true, true},
+                             m.bound);
+      std::printf("%-18s %-18s %10llu %12.1f %10.2f\n", m.file,
+                  enable ? "layer on (inert)" : "layer off",
+                  static_cast<unsigned long long>(r.states),
+                  r.bytes_per_state(), r.ms);
+    }
+  }
+  std::printf("\n");
+}
+
+void run_variant(benchmark::State& state, const Variant& v) {
+  const std::string src = read_model("symmetric.aadl");
+  Run r;
+  for (auto _ : state) {
+    r = run_once(src, "Symmetric.impl", false, v.enable, v.red);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["states"] = static_cast<double>(r.states);
+  state.counters["states_saved"] = static_cast<double>(r.states_saved);
+  state.counters["bytes_per_state"] = r.bytes_per_state();
+}
+
+void BM_ReductionNone(benchmark::State& state) {
+  run_variant(state, kVariants[0]);
+}
+BENCHMARK(BM_ReductionNone);
+
+void BM_ReductionSymmetry(benchmark::State& state) {
+  run_variant(state, kVariants[1]);
+}
+BENCHMARK(BM_ReductionSymmetry);
+
+void BM_ReductionCommute(benchmark::State& state) {
+  run_variant(state, kVariants[2]);
+}
+BENCHMARK(BM_ReductionCommute);
+
+void BM_ReductionBoth(benchmark::State& state) {
+  run_variant(state, kVariants[3]);
+}
+BENCHMARK(BM_ReductionBoth);
+
+void BM_StormBytesPerState(benchmark::State& state) {
+  const std::string src = read_model("storm.aadl");
+  Run r;
+  for (auto _ : state) {
+    r = run_once(src, "Storm.impl", true, false, {false, false}, 20'000);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["states"] = static_cast<double>(r.states);
+  state.counters["bytes_per_state"] = r.bytes_per_state();
+}
+BENCHMARK(BM_StormBytesPerState);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return aadlsched::bench::run_main(argc, argv, print_table);
+}

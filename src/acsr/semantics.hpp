@@ -24,11 +24,11 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "acsr/context.hpp"
 #include "acsr/label.hpp"
+#include "util/flat_set.hpp"
 
 namespace aadlsched::acsr {
 
@@ -53,14 +53,31 @@ class Semantics {
   const Stats& stats() const { return stats_; }
   Context& context() { return ctx_; }
 
+  /// Approximate footprint of the fan memo (arena + index). The memory
+  /// budget estimate adds this on top of Context::approx_bytes(); before it
+  /// did, memo-heavy runs under-counted by the whole fan table.
+  std::size_t approx_bytes() const {
+    return fan_arena_.capacity() * sizeof(Transition) + memo_.approx_bytes();
+  }
+
  private:
   std::vector<Transition> compute(TermId t);
   void parallel_transitions(TermId t, std::vector<Transition>& out);
 
+  // Memoized fans live flat in one arena; the per-term index holds an
+  // (offset, len) window into it. Compared to the former
+  // unordered_map<TermId, vector<Transition>> this drops two heap nodes
+  // per memoized state and keeps fans contiguous.
+  struct FanRef {
+    std::uint32_t offset = 0;
+    std::uint32_t len = 0;
+  };
+
   Context& ctx_;
   bool memoize_;
   Stats stats_;
-  std::unordered_map<TermId, std::vector<Transition>> memo_;
+  std::vector<Transition> fan_arena_;
+  util::FlatIdMap<FanRef> memo_;
 };
 
 }  // namespace aadlsched::acsr

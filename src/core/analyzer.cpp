@@ -172,6 +172,34 @@ void apply_exploration(AnalysisResult& result,
   result.fans_computed = er.sem_stats.computed;
   result.memo_hits = er.sem_stats.memo_hits;
   result.worker_states = er.worker_states;
+  result.symmetry_groups = er.symmetry_groups;
+  result.states_saved = er.states_saved;
+  result.commuted_expansions = er.commuted_expansions;
+}
+
+/// Resolve the reduction layer for one run: build the SymmetryModel from
+/// the mangled role-name groups (the translator's on a cold run, the
+/// checkpoint's on a resume) and wire it into the exploration options.
+/// With --no-reduction, or when no groups resolve, the layer stays inert
+/// and both engines behave bit-identically to a run without it.
+versa::CheckpointReduction setup_reduction(
+    versa::SymmetryModel& model, versa::ExploreOptions& eopts,
+    acsr::Context& ctx,
+    const std::vector<std::vector<std::string>>& role_groups,
+    bool uniform_dispatch, bool no_reduction) {
+  versa::CheckpointReduction red;
+  if (no_reduction) {
+    eopts.reduction = versa::ReductionOptions{false, false};
+    eopts.symmetry_model = nullptr;
+    return red;
+  }
+  model = versa::SymmetryModel::build(ctx, role_groups, uniform_dispatch);
+  eopts.symmetry_model = &model;
+  red.symmetry = eopts.reduction.symmetry;
+  red.commute = eopts.reduction.commute;
+  red.uniform_dispatch = model.uniform_dispatch();
+  red.role_groups = model.role_names();
+  return red;
 }
 
 /// Serialize the captured wavefront when the run is worth resuming later:
@@ -181,7 +209,8 @@ void maybe_capture_checkpoint(AnalysisResult& result,
                               const versa::ExploreResult& er,
                               const versa::Wavefront& wave,
                               const acsr::Context& ctx,
-                              const AnalyzerOptions& opts) {
+                              const AnalyzerOptions& opts,
+                              const versa::CheckpointReduction& reduction) {
   if (!opts.checkpoint_out || er.deadlock_found || wave.empty()) return;
   switch (er.stop) {
     case util::StopReason::MaxStates:
@@ -193,7 +222,8 @@ void maybe_capture_checkpoint(AnalysisResult& result,
       return;  // None (conclusive) or Fault (state may be inconsistent)
   }
   *opts.checkpoint_out = versa::serialize_checkpoint(
-      ctx, wave, opts.checkpoint_key.empty() ? "-" : opts.checkpoint_key);
+      ctx, wave, opts.checkpoint_key.empty() ? "-" : opts.checkpoint_key,
+      reduction);
   result.checkpoint_captured = true;
 }
 
@@ -210,6 +240,14 @@ AnalysisResult analyze_resumed(versa::RestoredCheckpoint restored,
   versa::Wavefront captured;
   if (opts.checkpoint_out) eopts.capture = &captured;
 
+  // Rebuild the capturing run's symmetry model against the restored
+  // Context: there is no Translation here, but the checkpoint carries the
+  // mangled role names, and SymmetryModel::build resolves them by name.
+  versa::SymmetryModel sym;
+  const versa::CheckpointReduction red = setup_reduction(
+      sym, eopts, ctx, restored.reduction.role_groups,
+      restored.reduction.uniform_dispatch, opts.no_reduction);
+
   versa::ExploreResult er;
   if (opts.parallel.workers == 1) {
     acsr::Semantics sem(ctx);
@@ -222,7 +260,7 @@ AnalysisResult analyze_resumed(versa::RestoredCheckpoint restored,
   result.resumed = true;
   result.resumed_from_depth = restored.wave.depth;
   result.resumed_from_states = restored.wave.states;
-  maybe_capture_checkpoint(result, er, captured, ctx, opts);
+  maybe_capture_checkpoint(result, er, captured, ctx, opts, red);
   return result;
 }
 
@@ -303,6 +341,10 @@ std::string AnalysisResult::summary() const {
   os << "\nexploration: " << std::fixed << std::setprecision(2) << explore_ms
      << " ms, peak frontier " << peak_frontier << ", fan memo "
      << memo_hits << " hits / " << fans_computed << " computed";
+  if (symmetry_groups > 0)
+    os << "\nreduction: symmetry groups: " << symmetry_groups
+       << ", states saved: " << states_saved << ", commuted expansions: "
+       << commuted_expansions;
   if (worker_states.size() > 1) {
     os << ", per-worker states [";
     for (std::size_t i = 0; i < worker_states.size(); ++i) {
@@ -328,7 +370,20 @@ AnalysisResult analyze_instance(const aadl::InstanceModel& instance,
     std::string why;
     if (auto restored =
             versa::parse_checkpoint(*opts.resume_checkpoint, why)) {
-      return analyze_resumed(std::move(*restored), opts);
+      // The visited set holds whatever the capturing run deduplicated on
+      // (orbit representatives under symmetry), so the resume must run
+      // with the same reduction settings — a mismatch downgrades to cold.
+      versa::ReductionOptions want = opts.exploration.reduction;
+      if (opts.no_reduction) want = versa::ReductionOptions{false, false};
+      if (restored->reduction.symmetry == want.symmetry &&
+          restored->reduction.commute == want.commute) {
+        return analyze_resumed(std::move(*restored), opts);
+      }
+      why = "checkpoint rejected: reduction settings differ (captured with "
+            "symmetry=" + std::to_string(restored->reduction.symmetry) +
+            " commute=" + std::to_string(restored->reduction.commute) +
+            ", this run wants symmetry=" + std::to_string(want.symmetry) +
+            " commute=" + std::to_string(want.commute) + ")";
     }
     resume_note = why + "; falling back to a cold run\n";
   }
@@ -371,6 +426,14 @@ AnalysisResult analyze_instance(const aadl::InstanceModel& instance,
   versa::Wavefront captured;
   if (opts.checkpoint_out) eopts.capture = &captured;
 
+  std::vector<std::vector<std::string>> role_groups;
+  for (const translate::SymmetryGroup& g : tr->symmetry.groups)
+    role_groups.push_back(g.roles);
+  versa::SymmetryModel sym;
+  const versa::CheckpointReduction red =
+      setup_reduction(sym, eopts, ctx, role_groups,
+                      tr->symmetry.uniform_dispatch, opts.no_reduction);
+
   versa::ExploreResult er;
   if (opts.parallel.workers == 1) {
     acsr::Semantics sem(ctx);
@@ -379,7 +442,7 @@ AnalysisResult analyze_instance(const aadl::InstanceModel& instance,
     er = versa::explore_parallel(ctx, tr->initial, eopts, opts.parallel);
   }
   apply_exploration(result, er);
-  maybe_capture_checkpoint(result, er, captured, ctx, opts);
+  maybe_capture_checkpoint(result, er, captured, ctx, opts, red);
   // No timeline without a trace: when recording was dropped under memory
   // pressure, lifting would produce an empty "0 quanta" scenario that reads
   // like a real counterexample.

@@ -39,6 +39,13 @@ struct AnalyzerOptions {
   /// model, skip exploration and report 0 states (DESIGN.md §9).
   bool skip_exploration_on_conclusive = true;
 
+  /// Escape hatch for the reduction layer (DESIGN.md §13): skip symmetry
+  /// canonicalization and commutation linearization entirely. The verdict
+  /// and the canonical result JSON are identical either way — reductions
+  /// only change how many states the engine walks to reach them — so this
+  /// exists for debugging and for A/B measurement, not correctness.
+  bool no_reduction = false;
+
   // --- warm re-exploration (DESIGN.md §12) -----------------------------
   /// When non-null and exploration stops on a budget without reaching a
   /// verdict, a serialized versa checkpoint (translated module + BFS
@@ -134,6 +141,13 @@ struct AnalysisResult {
   std::uint64_t fans_computed = 0;   // successor fans computed
   std::uint64_t memo_hits = 0;       // fans served from a memo cache
   std::vector<std::uint64_t> worker_states;  // states expanded per worker
+
+  // Reduction observability (DESIGN.md §13). Summary-only, never part of
+  // the canonical result JSON: with the layer active `states` counts orbit
+  // representatives, and these report what the layer did on top.
+  std::uint64_t symmetry_groups = 0;  // groups the active model carried
+  std::uint64_t states_saved = 0;     // raw states folded into an orbit rep
+  std::uint64_t commuted_expansions = 0;  // fans linearized by commutation
 
   std::string summary() const;
 };

@@ -80,6 +80,8 @@ std::optional<Request> parse_request(std::string_view line,
     if (const auto* l = opts->get("lint")) o.run_lint = l->as_bool(true);
     if (const auto* lc = opts->get("late_completion"))
       o.late_completion = lc->as_bool();
+    if (const auto* nr = opts->get("no_reduction"))
+      o.no_reduction = nr->as_bool();
     if (o.quantum_ns <= 0) {
       error = "options.quantum_ms must be positive";
       return std::nullopt;
@@ -109,6 +111,7 @@ std::string render_request(const Request& req) {
     w.key("workers").value(static_cast<std::uint64_t>(o.workers));
     w.key("lint").value(o.run_lint);
     w.key("late_completion").value(o.late_completion);
+    w.key("no_reduction").value(o.no_reduction);
     w.end_object();
   }
   w.end_object();

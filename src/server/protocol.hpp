@@ -8,7 +8,7 @@
 //    "root": "Root.impl",
 //    "options": {"quantum_ms": 1, "max_states": 5000000, "deadline_ms": 0,
 //                "memory_budget_mb": 0, "workers": 1, "lint": true,
-//                "late_completion": false},
+//                "late_completion": false, "no_reduction": false},
 //    "no_cache": false, "resume": false, "no_checkpoint": false}
 // Request (stats | ping | shutdown):
 //   {"v": 1, "op": "stats"}
@@ -59,6 +59,12 @@ struct RequestOptions {
   std::size_t workers = 1;
   bool run_lint = true;
   bool late_completion = false;
+  /// Disable the state-space reduction layer (DESIGN.md §13). Part of the
+  /// cache key even though the canonical result JSON is identical either
+  /// way: cached entries record budget-invariant *conclusive* outcomes, and
+  /// mixing reduction settings under one key would conflate their
+  /// checkpoint blobs (whose visited sets are representation-dependent).
+  bool no_reduction = false;
 };
 
 struct Request {

@@ -23,10 +23,15 @@ double ms_since(Clock::time_point t0) {
 /// is not the model. Budgets are deliberately absent: only budget-invariant
 /// (conclusive) outcomes are cached (see cache.hpp).
 std::string options_key(const RequestOptions& ro) {
-  std::uint64_t h = util::fnv1a("options-v1");
+  // v2: no_reduction joined the key. Reduction settings do not change the
+  // result JSON, but checkpoint blobs stored under the same key carry
+  // representation-dependent visited sets, so the settings must partition
+  // the key space.
+  std::uint64_t h = util::fnv1a("options-v2");
   h = util::hash_combine(h, static_cast<std::uint64_t>(ro.quantum_ns));
   h = util::hash_combine(h, ro.late_completion ? 1u : 0u);
   h = util::hash_combine(h, ro.run_lint ? 1u : 0u);
+  h = util::hash_combine(h, ro.no_reduction ? 1u : 0u);
   char buf[17];
   std::snprintf(buf, sizeof buf, "%016llx",
                 static_cast<unsigned long long>(h));
@@ -152,6 +157,7 @@ core::AnalyzerOptions Service::analyzer_options(
                                     ? translate::ExecutionTimeModel::LateCompletion
                                     : translate::ExecutionTimeModel::CommittedDemand;
   opts.run_lint = ro.run_lint;
+  opts.no_reduction = ro.no_reduction || cfg_.force_no_reduction;
   opts.exploration.max_states = ro.max_states;
   if (cfg_.max_states_cap > 0)
     opts.exploration.max_states =

@@ -50,6 +50,9 @@ struct ServiceConfig {
   std::uint64_t max_states_cap = 0;
   std::uint64_t memory_budget_mb_cap = 0;
   std::size_t max_request_workers = 8;  // per-request exploration threads
+  /// Daemon-level override: run every request without the reduction layer
+  /// (aadlschedd --no-reduction), regardless of per-request options.
+  bool force_no_reduction = false;
   /// Admission policy (see file comment).
   std::size_t small_model_bytes = 16 * 1024;
   std::size_t small_burst = 4;

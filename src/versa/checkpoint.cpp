@@ -22,7 +22,10 @@ using acsr::kInvalidTerm;
 namespace {
 
 constexpr std::string_view kMagic = "aadlsched-checkpoint";
-constexpr std::string_view kVersion = "v1";
+// v2 added the reduction section (settings + symmetry role groups). v1
+// blobs carry no reduction provenance, so they are rejected as stale
+// rather than resumed with guessed settings.
+constexpr std::string_view kVersion = "v2";
 
 std::string hex64(std::uint64_t v) {
   static constexpr char digits[] = "0123456789abcdef";
@@ -141,7 +144,8 @@ class Reader {
 
 std::string serialize_checkpoint(const acsr::Context& ctx,
                                  const Wavefront& wave,
-                                 std::string_view key) {
+                                 std::string_view key,
+                                 const CheckpointReduction& reduction) {
   const acsr::TermTable& tt = ctx.terms();
   acsr::Printer printer(ctx);
 
@@ -179,6 +183,19 @@ std::string serialize_checkpoint(const acsr::Context& ctx,
   os << "stats " << wave.states << ' ' << wave.transitions << ' '
      << wave.depth << ' ' << wave.peak_frontier << ' ' << wave.deadlock_count
      << ' ' << (wave.deadlock_found ? 1 : 0) << '\n';
+
+  // Reduction provenance (v2): the visited set below holds whatever the
+  // capturing run deduplicated on — orbit representatives when symmetry
+  // canonicalization was active — so a resume must rebuild the same model.
+  os << "reduction " << (reduction.symmetry ? 1 : 0) << ' '
+     << (reduction.commute ? 1 : 0) << ' '
+     << (reduction.uniform_dispatch ? 1 : 0) << ' '
+     << reduction.role_groups.size() << '\n';
+  for (const std::vector<std::string>& g : reduction.role_groups) {
+    os << "group " << g.size();
+    for (const std::string& role : g) os << ' ' << role;
+    os << '\n';
+  }
 
   const std::string module_text = printer.module();
   os << "module " << module_text.size() << '\n' << module_text << '\n';
@@ -309,7 +326,13 @@ std::optional<RestoredCheckpoint> parse_checkpoint(std::string_view text,
 
   Reader r{std::string(body)};
   r.expect(kMagic);
-  r.expect(kVersion);
+  {
+    const std::string version = r.token("format version");
+    if (r.ok() && version != kVersion)
+      return reject("stale checkpoint format '" + version + "' (this build "
+                    "writes " + std::string(kVersion) +
+                    "); re-run cold to capture a fresh checkpoint");
+  }
   r.expect("key");
   RestoredCheckpoint out;
   out.key = r.token("key");
@@ -321,6 +344,19 @@ std::optional<RestoredCheckpoint> parse_checkpoint(std::string_view text,
   w.peak_frontier = r.unum("peak_frontier");
   w.deadlock_count = r.unum("deadlock_count");
   w.deadlock_found = r.unum("deadlock_found") != 0;
+
+  r.expect("reduction");
+  out.reduction.symmetry = r.unum("reduction symmetry flag") != 0;
+  out.reduction.commute = r.unum("reduction commute flag") != 0;
+  out.reduction.uniform_dispatch = r.unum("uniform-dispatch flag") != 0;
+  for (std::uint64_t i = r.unum("symmetry group count"); r.ok() && i > 0;
+       --i) {
+    r.expect("group");
+    std::vector<std::string> roles;
+    for (std::uint64_t k = r.unum("role count"); r.ok() && k > 0; --k)
+      roles.push_back(r.token("role name"));
+    out.reduction.role_groups.push_back(std::move(roles));
+  }
 
   r.expect("module");
   const std::string module_text = r.raw(r.unum("module bytes"));

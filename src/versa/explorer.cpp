@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "util/concurrent_set.hpp"
+#include "util/flat_set.hpp"
 #include "util/thread_pool.hpp"
 
 namespace aadlsched::versa {
@@ -20,6 +21,13 @@ using acsr::Transition;
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+/// Parent link for counterexample reconstruction, stored flat (one packed
+/// entry per discovered state instead of an unordered_map node).
+struct ParentLink {
+  TermId source = acsr::kNil;
+  Label label;
+};
 
 double ms_since(Clock::time_point t0) {
   return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
@@ -35,16 +43,15 @@ bool is_stuck(TermId state, const std::vector<Transition>& fan) {
   return stuck;
 }
 
-void reconstruct_trace(
-    ExploreResult& result,
-    const std::unordered_map<TermId, std::pair<TermId, Label>>& parent) {
+void reconstruct_trace(ExploreResult& result,
+                       const util::FlatIdMap<ParentLink>& parent) {
   std::vector<Step> rev;
   TermId cur = result.first_deadlock;
   while (cur != result.initial) {
-    const auto it = parent.find(cur);
-    if (it == parent.end()) break;  // initial state itself deadlocked
-    rev.push_back(Step{it->second.second, cur});
-    cur = it->second.first;
+    const ParentLink* link = parent.find(cur);
+    if (!link) break;  // initial state itself deadlocked
+    rev.push_back(Step{link->label, cur});
+    cur = link->source;
   }
   std::reverse(rev.begin(), rev.end());
   result.trace = std::move(rev);
@@ -57,10 +64,14 @@ ExploreResult explore(acsr::Semantics& sem, TermId initial,
   const auto t0 = Clock::now();
   const acsr::Semantics::Stats stats_before = sem.stats();
   ExploreResult result;
-  result.initial = initial;
 
-  std::unordered_map<TermId, std::pair<TermId, Label>> parent;
-  std::unordered_map<TermId, bool> seen;
+  Reducer reducer(sem, opts.symmetry_model, opts.reduction);
+  // All stored states are canonical orbit representatives (identity when
+  // the reduction layer is off or inert).
+  result.initial = reducer.canonical(initial);
+
+  util::FlatIdMap<ParentLink> parent;
+  util::FlatIdSet seen;
   std::deque<TermId> frontier;
 
   std::uint64_t expanded = 0;
@@ -80,7 +91,8 @@ ExploreResult explore(acsr::Semantics& sem, TermId initial,
     // that parent links are gone, so no trace can be recorded.
     const Wavefront& w = *opts.resume;
     result.initial = w.initial;
-    for (const TermId s : w.visited) seen.emplace(s, true);
+    seen.reserve(w.visited.size());
+    for (const TermId s : w.visited) seen.insert(s);
     frontier.insert(frontier.end(), w.frontier.begin(), w.frontier.end());
     frontier.insert(frontier.end(), w.next_frontier.begin(),
                     w.next_frontier.end());
@@ -96,25 +108,34 @@ ExploreResult explore(acsr::Semantics& sem, TermId initial,
     result.first_deadlock = w.first_deadlock;
     recording = false;
   } else {
-    seen.emplace(initial, true);
-    frontier.push_back(initial);
+    seen.insert(result.initial);
+    frontier.push_back(result.initial);
     result.states = 1;
     result.peak_frontier = 1;
   }
 
-  util::BudgetTracker tracker(opts.budget, [&]() -> std::uint64_t {
-    // Hash-cons tables + visited/parent maps + frontier. Per-entry
-    // constants approximate node + bucket overhead of unordered_map.
-    return sem.context().approx_bytes() + seen.size() * 48 +
-           parent.size() * 64 + frontier.size() * sizeof(TermId);
-  });
+  // Hash-cons tables + fan memo + flat visited/parent tables + frontier.
+  // The flat tables report their actual footprint, not a per-node guess.
+  const auto approx_memory = [&]() -> std::uint64_t {
+    return sem.context().approx_bytes() + sem.approx_bytes() +
+           seen.approx_bytes() + parent.approx_bytes() +
+           frontier.size() * sizeof(TermId);
+  };
+  util::BudgetTracker tracker(opts.budget, approx_memory);
 
   const auto finish = [&] {
     result.worker_states = {expanded};
     result.sem_stats.computed = sem.stats().computed - stats_before.computed;
     result.sem_stats.memo_hits =
         sem.stats().memo_hits - stats_before.memo_hits;
-    result.approx_memory_bytes = tracker.last_memory_bytes();
+    // Reported even when no memory budget probed it: bench_reduction and
+    // the E11 table read bytes/state off any run.
+    result.approx_memory_bytes = approx_memory();
+    if (reducer.active()) {
+      result.symmetry_groups = opts.symmetry_model->groups().size();
+      result.states_saved = reducer.stats().states_saved;
+      result.commuted_expansions = reducer.stats().commuted_expansions;
+    }
     result.wall_ms = ms_since(t0);
   };
 
@@ -133,7 +154,7 @@ ExploreResult explore(acsr::Semantics& sem, TermId initial,
                                                   level_remaining),
                            frontier.end());
     w.visited.reserve(seen.size());
-    for (const auto& [s, _] : seen) w.visited.push_back(s);
+    seen.for_each([&](std::uint32_t s) { w.visited.push_back(s); });
     w.states = result.states;
     w.transitions = result.transitions;
     w.depth = result.depth;
@@ -177,7 +198,7 @@ ExploreResult explore(acsr::Semantics& sem, TermId initial,
     frontier.pop_front();
     --level_remaining;
 
-    const std::vector<Transition> fan = sem.prioritized(state);
+    std::vector<Transition> fan = sem.prioritized(state);
     ++expanded;
     if (is_stuck(state, fan)) {
       ++result.deadlock_count;
@@ -188,14 +209,15 @@ ExploreResult explore(acsr::Semantics& sem, TermId initial,
       if (opts.stop_at_first_deadlock) break;
       continue;
     }
+    reducer.linearize(state, fan);
     for (const Transition& tr : fan) {
       ++result.transitions;
-      if (seen.emplace(tr.target, true).second) {
-        if (recording)
-          parent.emplace(tr.target, std::make_pair(state, tr.label));
+      const TermId target = reducer.canonical(tr.target);
+      if (seen.insert(target)) {
+        if (recording) parent.emplace(target, ParentLink{state, tr.label});
         ++result.states;
         ++next_level;
-        frontier.push_back(tr.target);
+        frontier.push_back(target);
         result.peak_frontier =
             std::max<std::uint64_t>(result.peak_frontier, frontier.size());
       }
@@ -219,18 +241,26 @@ ExploreResult explore_parallel(acsr::Context& ctx, TermId initial,
     workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
 
   ExploreResult result;
-  result.initial = initial;
 
-  // One Semantics per worker: the transition-fan memo stays worker-local so
-  // the hot path takes no lock at all on a memo hit.
+  // One Semantics (and one Reducer: its memos are worker-local too) per
+  // worker, so the hot path takes no lock at all on a memo hit.
+  // Canonicalization interns terms, which is safe under shared mode; the
+  // canonical function itself is per-run deterministic, so every worker
+  // computes the same representative for the same state.
   std::vector<std::unique_ptr<acsr::Semantics>> sems;
+  std::vector<std::unique_ptr<Reducer>> reducers;
   sems.reserve(workers);
-  for (std::size_t w = 0; w < workers; ++w)
+  reducers.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
     sems.push_back(std::make_unique<acsr::Semantics>(ctx));
+    reducers.push_back(std::make_unique<Reducer>(
+        *sems.back(), opts.symmetry_model, opts.reduction));
+  }
+  result.initial = reducers[0]->canonical(initial);
 
   util::ConcurrentSet visited(1u << 16, workers > 1 ? 64 : 1);
 
-  std::unordered_map<TermId, std::pair<TermId, Label>> parent;
+  util::FlatIdMap<ParentLink> parent;
   bool recording = opts.record_trace;
 
   // Current level plus, on a warm resume, the partially-discovered next
@@ -261,9 +291,9 @@ ExploreResult explore_parallel(acsr::Context& ctx, TermId initial,
       ++result.depth;
     }
   } else {
-    visited.insert(initial);
+    visited.insert(result.initial);
     result.states = 1;
-    level.push_back(initial);
+    level.push_back(result.initial);
   }
 
   // Budget governance. The coordinator runs the full tracker (clock +
@@ -272,9 +302,15 @@ ExploreResult explore_parallel(acsr::Context& ctx, TermId initial,
   // deadline time point, fault injector — and the first worker to observe
   // exhaustion publishes the StopReason here, draining the whole pool
   // within one block per worker.
-  util::BudgetTracker tracker(opts.budget, [&]() -> std::uint64_t {
-    return ctx.approx_bytes() + visited.approx_bytes() + parent.size() * 64;
-  });
+  // Probed only while workers are quiescent (level boundaries), so the
+  // per-worker fan memos can be summed safely.
+  const auto approx_memory = [&]() -> std::uint64_t {
+    std::uint64_t bytes =
+        ctx.approx_bytes() + visited.approx_bytes() + parent.approx_bytes();
+    for (const auto& sem : sems) bytes += sem->approx_bytes();
+    return bytes;
+  };
+  util::BudgetTracker tracker(opts.budget, approx_memory);
   std::atomic<std::uint8_t> worker_stop{
       static_cast<std::uint8_t>(util::StopReason::None)};
   const auto block_budget_ok = [&]() -> bool {
@@ -346,21 +382,24 @@ ExploreResult explore_parallel(acsr::Context& ctx, TermId initial,
     w.first_deadlock = result.first_deadlock;
   };
 
-  const auto process_range = [&](acsr::Semantics& sem, WorkerOut& out,
+  const auto process_range = [&](acsr::Semantics& sem, Reducer& reducer,
+                                 WorkerOut& out,
                                  const std::vector<TermId>& lvl,
                                  std::size_t begin, std::size_t end) {
     for (std::size_t i = begin; i < end; ++i) {
       const TermId state = lvl[i];
-      const std::vector<Transition> fan = sem.prioritized(state);
+      std::vector<Transition> fan = sem.prioritized(state);
       ++out.processed;
       if (is_stuck(state, fan)) {
         out.deadlocks.emplace_back(i, state);
         continue;
       }
+      reducer.linearize(state, fan);
       for (const Transition& tr : fan) {
         ++out.transitions;
-        if (visited.insert(tr.target))
-          out.discovered.push_back(Discovery{tr.target, state, tr.label});
+        const TermId target = reducer.canonical(tr.target);
+        if (visited.insert(target))
+          out.discovered.push_back(Discovery{target, state, tr.label});
       }
     }
   };
@@ -384,7 +423,7 @@ ExploreResult explore_parallel(acsr::Context& ctx, TermId initial,
           processed = b;
           break;
         }
-        process_range(*sems[0], outs[0], level, b,
+        process_range(*sems[0], *reducers[0], outs[0], level, b,
                       std::min(b + block, level.size()));
       }
     } else {
@@ -394,7 +433,7 @@ ExploreResult explore_parallel(acsr::Context& ctx, TermId initial,
           const std::size_t b =
               cursor.fetch_add(block, std::memory_order_relaxed);
           if (b >= level.size()) break;
-          process_range(*sems[w], outs[w], level, b,
+          process_range(*sems[w], *reducers[w], outs[w], level, b,
                         std::min(b + block, level.size()));
         }
       });
@@ -425,8 +464,7 @@ ExploreResult explore_parallel(acsr::Context& ctx, TermId initial,
     carried.clear();
     for (WorkerOut& out : outs) {
       for (const Discovery& d : out.discovered) {
-        if (recording)
-          parent.emplace(d.target, std::make_pair(d.source, d.label));
+        if (recording) parent.emplace(d.target, ParentLink{d.source, d.label});
         ++result.states;
         next.push_back(d.target);
       }
@@ -480,7 +518,7 @@ ExploreResult explore_parallel(acsr::Context& ctx, TermId initial,
       (exhausted || (result.deadlock_found && opts.stop_at_first_deadlock));
 
   if (result.deadlock_found && recording) reconstruct_trace(result, parent);
-  result.approx_memory_bytes = tracker.last_memory_bytes();
+  result.approx_memory_bytes = approx_memory();
 
   result.worker_states.reserve(workers);
   for (const WorkerOut& out : outs)
@@ -488,6 +526,15 @@ ExploreResult explore_parallel(acsr::Context& ctx, TermId initial,
   for (const auto& sem : sems) {
     result.sem_stats.computed += sem->stats().computed;
     result.sem_stats.memo_hits += sem->stats().memo_hits;
+  }
+  if (reducers[0]->active()) {
+    result.symmetry_groups = opts.symmetry_model->groups().size();
+    // Per-worker memos may fold the same raw state independently; the sum
+    // is an upper estimate (exact at workers == 1).
+    for (const auto& reducer : reducers) {
+      result.states_saved += reducer->stats().states_saved;
+      result.commuted_expansions += reducer->stats().commuted_expansions;
+    }
   }
   result.wall_ms = ms_since(t0);
   return result;

@@ -3,7 +3,7 @@
 # ctest (service_smoke) and the CI service job:
 #
 #   1. start aadlschedd on an ephemeral port with a disk cache dir
-#   2. submit the three example models via `aadlsched --connect` (cold)
+#   2. submit the example models via `aadlsched --connect` (cold)
 #   3. submit them again — every result must be byte-identical and --stats
 #      must show one cache hit per model
 #   4. shut the daemon down over the protocol
@@ -74,9 +74,10 @@ ckpt_field() {  # ckpt_field <name> — value of "name" inside "checkpoints"
     | grep -o "\"$1\": [0-9]*" | head -n1 | grep -o '[0-9]*$'
 }
 
-# Two shipped example models plus a generated overload (NotSchedulable):
-# only conclusive verdicts are cached (DESIGN.md §11), so every smoke model
-# must reach one. storm.aadl is budget-bound by design and stays out.
+# Three shipped example models (including the symmetric reduction fixture)
+# plus a generated overload (NotSchedulable): only conclusive verdicts are
+# cached (DESIGN.md §11), so every smoke model must reach one. storm.aadl
+# is budget-bound by design and stays out.
 cat >"$work/overload.aadl" <<'EOF'
 package Overload
 public
@@ -111,12 +112,12 @@ public
 end Overload;
 EOF
 
-names=(cruise_control avionics overload)
-files=("$models/cruise_control.aadl" "$models/avionics.aadl" "$work/overload.aadl")
-roots=(CruiseControlSystem.impl Avionics.impl Root.impl)
+names=(cruise_control avionics overload symmetric)
+files=("$models/cruise_control.aadl" "$models/avionics.aadl" "$work/overload.aadl" "$models/symmetric.aadl")
+roots=(CruiseControlSystem.impl Avionics.impl Root.impl Symmetric.impl)
 
 submit_all() {  # submit_all <round-tag>
-  for i in 0 1 2; do
+  for i in 0 1 2 3; do
     "$cli" --connect "$endpoint" "${files[$i]}" "${roots[$i]}" \
       2>"$work/${names[$i]}.$1.err" >"$work/${names[$i]}.$1.json"
     echo "  ${names[$i]} ($1): exit $?, $(cat "$work/${names[$i]}.$1.err")"
@@ -130,12 +131,12 @@ submit_all cold
 hits=$(stat_field hits_memory)
 misses=$(stat_field misses)
 [ "${hits:-x}" = 0 ] || fail "expected 0 cache hits after cold round, got '$hits'"
-[ "${misses:-0}" -ge 3 ] || fail "expected >= 3 misses after cold round, got '$misses'"
+[ "${misses:-0}" -ge 4 ] || fail "expected >= 4 misses after cold round, got '$misses'"
 
 echo "=== round 2: warm memory cache ==="
 submit_all warm
 hits=$(stat_field hits_memory)
-[ "${hits:-0}" -ge 3 ] || fail "expected >= 3 cache hits after warm round, got '$hits'"
+[ "${hits:-0}" -ge 4 ] || fail "expected >= 4 cache hits after warm round, got '$hits'"
 for n in "${names[@]}"; do
   cmp -s "$work/$n.cold.json" "$work/$n.warm.json" \
     || fail "$n: cached result is not byte-identical to the cold result"

@@ -377,6 +377,36 @@ TEST(BudgetExplore, GenerousBudgetsDoNotPerturbEquivalence) {
   EXPECT_GT(serial.approx_memory_bytes, 0u);  // ceiling set => probed
 }
 
+TEST(BudgetExplore, MemoryEstimateIncludesSemanticsCaches) {
+  // Regression for a real accounting gap: the memory probe used to count
+  // the Context term table but not the Semantics-side caches (successor-fan
+  // memo + transition arena), so a memo-heavy run under-reported by exactly
+  // the cache that was growing and the budget tracker fired too late. The
+  // probe must sit at or above Context + Semantics combined.
+  const std::string src = read_model("cruise_control.aadl");
+  acsr::Context ctx;
+  acsr::Semantics sem(ctx);
+  ExploreOptions opts;
+  opts.budget.max_states = 5'000;
+  const ExploreResult r = versa::explore(
+      sem, build_initial(ctx, src, "CruiseControlSystem.impl", 1'000'000),
+      opts);
+  ASSERT_GT(sem.stats().memo_hits, 0u);  // the memo did fill up
+  EXPECT_GT(sem.approx_bytes(), 0u);
+  EXPECT_GE(r.approx_memory_bytes,
+            ctx.approx_bytes() + sem.approx_bytes());
+
+  // A memo-free Semantics over the same space reports strictly less cache
+  // footprint — approx_bytes() really is tracking the memo, not a constant.
+  acsr::Context c2;
+  acsr::Semantics bare(c2, false);
+  versa::explore(bare,
+                 build_initial(c2, src, "CruiseControlSystem.impl",
+                               1'000'000),
+                 opts);
+  EXPECT_LT(bare.approx_bytes(), sem.approx_bytes());
+}
+
 // ---------------------------------------------------------------------------
 // Sweep isolation: one poisoned job must not kill the pool.
 

@@ -20,6 +20,10 @@
 //   --memory-budget-mb <n> approximate memory ceiling per analysis; the
 //                          engine degrades (drops trace recording) before
 //                          giving up
+//   --no-reduction         disable the state-space reduction layer
+//                          (symmetry canonicalization + commutation
+//                          linearization, DESIGN.md §13); the verdict and
+//                          the --json result are identical either way
 //   --batch <file>         analyze every model listed in <file> (one
 //                          "<model.aadl>... <Root.impl>" per line, '#'
 //                          comments); each entry is isolated — a crashing
@@ -95,6 +99,7 @@ int usage() {
       "                 [--classical] [--latency src sink ms]\n"
       "                 [--late-completion] [--max-states n] [--workers n]\n"
       "                 [--deadline-ms n] [--memory-budget-mb n]\n"
+      "                 [--no-reduction]\n"
       "                 [--lint] [--lint-format text|json] [--no-lint]\n"
       "                 [--json] [--checkpoint-file f] [--resume]\n"
       "                 [--no-checkpoint]\n"
@@ -276,6 +281,7 @@ server::RequestOptions to_request_options(const core::AnalyzerOptions& opts) {
   ro.run_lint = opts.run_lint;
   ro.late_completion = opts.translation.time_model ==
                        translate::ExecutionTimeModel::LateCompletion;
+  ro.no_reduction = opts.no_reduction;
   return ro;
 }
 
@@ -473,6 +479,8 @@ int main(int argc, char** argv) {
       if (!n) return usage();
       opts.exploration.budget.memory_bytes =
           static_cast<std::uint64_t>(*n) * 1024 * 1024;
+    } else if (arg == "--no-reduction") {
+      opts.no_reduction = true;
     } else if (arg == "--batch" && i + 1 < argc) {
       batch_list = argv[++i];
     } else if (arg == "--batch-workers" && i + 1 < argc) {

@@ -20,6 +20,9 @@
 //   --no-checkpoint          disable the warm re-exploration checkpoint
 //                            store (DESIGN.md §12); budget-bound runs are
 //                            not checkpointed and "resume" requests miss
+//   --no-reduction           run every request without the state-space
+//                            reduction layer (DESIGN.md §13), regardless
+//                            of per-request options
 //   --checkpoint-capacity <n> in-memory checkpoint entries (default 4 —
 //                            checkpoints are large)
 //   --checkpoint-disk-cap <n> max .ckpt files kept in --cache-dir
@@ -58,7 +61,8 @@ int usage() {
       "                  [--cache-capacity n] [--cache-dir dir]\n"
       "                  [--max-deadline-ms n] [--max-states n]\n"
       "                  [--memory-budget-mb n] [--no-checkpoint]\n"
-      "                  [--checkpoint-capacity n] [--checkpoint-disk-cap n]\n";
+      "                  [--checkpoint-capacity n] [--checkpoint-disk-cap n]\n"
+      "                  [--no-reduction]\n";
   return 2;
 }
 
@@ -122,6 +126,8 @@ int main(int argc, char** argv) {
       cfg.memory_budget_mb_cap = static_cast<std::uint64_t>(*n);
     } else if (arg == "--no-checkpoint") {
       cfg.cache.checkpoints = false;
+    } else if (arg == "--no-reduction") {
+      cfg.force_no_reduction = true;
     } else if (arg == "--checkpoint-capacity" && i + 1 < argc) {
       const auto n = parse_option("--checkpoint-capacity", argv[++i], 0,
                                   1'000'000);

@@ -6,6 +6,7 @@
 #   BENCH_explore.json     state-space exploration timings  (bench_statespace)
 #   BENCH_service.json     service serve-path timings       (bench_service)
 #   BENCH_checkpoint.json  checkpoint capture/resume timings (bench_checkpoint)
+#   BENCH_reduction.json   reduction-ablation states/bytes  (bench_reduction)
 #
 # Usage: run_benches.sh <build-dir> [--smoke] [--out <dir>]
 #
@@ -49,4 +50,5 @@ EOF
 run bench_statespace BENCH_explore.json
 run bench_service BENCH_service.json
 run bench_checkpoint BENCH_checkpoint.json
+run bench_reduction BENCH_reduction.json
 echo "benchmark reports written to $out"
