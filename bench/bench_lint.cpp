@@ -1,0 +1,154 @@
+// E12 — static screening throughput (DESIGN.md §14): what fraction of a
+// mixed model population the lint passes decide without exploration, and
+// what a screen costs per model. The population mirrors the E1 agreement
+// suite: fixed-priority sets with distinct RM priorities (AL013's exact
+// fragment), constrained-deadline EDF sets (AL014), and shared-resource
+// sets under PCP (AL015/AL016), swept across utilization levels.
+//
+// The headline numbers feed tools/bench_diff.py: the static-decide rate
+// must not drop (a pass losing its fragment silently would push models
+// back to exploration) and the per-model screen cost must stay in the
+// microsecond regime the §14 pitch claims.
+#include "bench_common.hpp"
+
+#include <chrono>
+#include <memory>
+
+#include "lint/lint.hpp"
+#include "sched/blocking.hpp"
+
+namespace {
+
+using namespace aadlsched;
+
+struct PreparedModel {
+  std::string klass;
+  aadl::Model model;  // owns declarations the instance tree points into
+  std::unique_ptr<aadl::InstanceModel> instance;
+};
+
+lint::Options screen_options() {
+  lint::Options opts;
+  opts.translation.quantum_ns = 1'000'000;
+  return opts;
+}
+
+void add_model(std::vector<PreparedModel>& pool, const std::string& klass,
+               const std::string& source) {
+  PreparedModel pm;
+  pm.klass = klass;
+  util::DiagnosticEngine diags("bench_lint.aadl");
+  if (!aadl::parse_aadl(pm.model, source, diags)) return;
+  pm.instance = aadl::instantiate(pm.model, "Root.impl", diags);
+  if (!pm.instance) return;
+  pool.push_back(std::move(pm));
+}
+
+/// The E12 population: 3 classes x 3 utilization levels x 4 seeds.
+std::vector<PreparedModel> make_pool() {
+  std::vector<PreparedModel> pool;
+  for (const double u : {0.6, 0.8, 0.95}) {
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      sched::TaskSet fp = bench::workload(seed, 4, u);
+      sched::assign_rate_monotonic(fp);
+      add_model(pool, "fp-rm",
+                core::taskset_to_aadl(fp, sched::SchedulingPolicy::FixedPriority));
+
+      const sched::TaskSet edf = bench::workload(seed + 100, 4, u, 0.6);
+      add_model(pool, "edf-constrained",
+                core::taskset_to_aadl(edf, sched::SchedulingPolicy::Edf));
+
+      sched::TaskSet sh = bench::workload(seed + 200, 4, u);
+      sched::assign_rate_monotonic(sh);
+      sched::ResourceModel rm;
+      rm.resources = {{"shared", sched::LockProtocol::PriorityCeiling}};
+      rm.sections = {{0, 0, 1}, {sh.tasks.size() - 1, 0, 1}};
+      add_model(pool, "shared-pcp",
+                core::taskset_to_aadl_shared(
+                    sh, sched::SchedulingPolicy::FixedPriority, rm));
+    }
+  }
+  return pool;
+}
+
+bool statically_decided(const PreparedModel& pm, const lint::Options& opts) {
+  return lint::run(*pm.instance, opts).verdict != lint::StaticVerdict::None;
+}
+
+void print_table() {
+  bench::print_header(
+      "E12: static screening — decide rate and cost per model class",
+      "conclusive lint verdicts skip exploration; cost stays in microseconds");
+  const std::vector<PreparedModel> pool = make_pool();
+  const lint::Options opts = screen_options();
+  std::printf("%-16s %8s %9s %8s %12s\n", "class", "models", "decided",
+              "rate", "us/model");
+  for (const char* klass : {"fp-rm", "edf-constrained", "shared-pcp"}) {
+    int models = 0, decided = 0;
+    double total_us = 0.0;
+    for (const PreparedModel& pm : pool) {
+      if (pm.klass != klass) continue;
+      ++models;
+      const auto t0 = std::chrono::steady_clock::now();
+      const bool conclusive = statically_decided(pm, opts);
+      const auto t1 = std::chrono::steady_clock::now();
+      decided += conclusive;
+      total_us +=
+          std::chrono::duration<double, std::micro>(t1 - t0).count();
+    }
+    std::printf("%-16s %8d %9d %8.2f %12.1f\n", klass, models, decided,
+                models ? static_cast<double>(decided) / models : 0.0,
+                models ? total_us / models : 0.0);
+  }
+  std::printf("\n");
+}
+
+/// One model screened per iteration, cycling through the population; the
+/// per-iteration time IS the per-model screen cost bench_diff gates on,
+/// and the decide_rate counter is the population's static-decide fraction.
+void BM_LintStaticScreen(benchmark::State& state) {
+  const std::vector<PreparedModel> pool = make_pool();
+  const lint::Options opts = screen_options();
+  if (pool.empty()) {
+    state.SkipWithError("no models in the bench pool");
+    return;
+  }
+  std::size_t i = 0;
+  std::int64_t decided = 0, screened = 0;
+  for (auto _ : state) {
+    decided += statically_decided(pool[i], opts);
+    ++screened;
+    i = (i + 1) % pool.size();
+  }
+  state.counters["decide_rate"] =
+      screened ? static_cast<double>(decided) / screened : 0.0;
+}
+BENCHMARK(BM_LintStaticScreen);
+
+/// The shared-resource extraction + blocking-aware RTA path in isolation
+/// (the part AL015/AL016 add on top of the plain screen).
+void BM_LintSharedResourceScreen(benchmark::State& state) {
+  std::vector<PreparedModel> pool;
+  sched::TaskSet ts = bench::workload(7, 4, 0.8);
+  sched::assign_rate_monotonic(ts);
+  sched::ResourceModel rm;
+  rm.resources = {{"shared", sched::LockProtocol::PriorityCeiling}};
+  rm.sections = {{0, 0, 1}, {ts.tasks.size() - 1, 0, 1}};
+  add_model(pool, "shared-pcp",
+            core::taskset_to_aadl_shared(
+                ts, sched::SchedulingPolicy::FixedPriority, rm));
+  const lint::Options opts = screen_options();
+  if (pool.empty()) {
+    state.SkipWithError("shared bench model failed to instantiate");
+    return;
+  }
+  for (auto _ : state)
+    benchmark::DoNotOptimize(lint::run(*pool[0].instance, opts));
+}
+BENCHMARK(BM_LintSharedResourceScreen);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return aadlsched::bench::run_main(argc, argv, print_table);
+}

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <string_view>
 
+#include "aadl/resources.hpp"
 #include "util/hash.hpp"
 #include "util/string_utils.hpp"
 
@@ -159,6 +160,26 @@ std::string canonical_instance_text(const InstanceModel& model) {
   }
   std::sort(conns.begin(), conns.end());
   for (const std::string& c : conns) os << c << '\n';
+
+  // Shared-resource accesses (data access connections are not semantic
+  // connections, but the static-analysis tier reads them, so they must
+  // invalidate cached results). Models without access connections emit
+  // nothing here and keep their pre-existing fingerprints.
+  const SharedResourceModel srm = extract_shared_resources(model);
+  std::vector<std::string> accs;
+  for (const SharedResourceInfo& res : srm.resources) {
+    for (const ResourceAccess& a : res.accesses) {
+      std::ostringstream as;
+      as << "access \"" << (a.thread ? a.thread->path : "?") << '.'
+         << a.feature << "\" -> \"" << res.data->path << "\" protocol "
+         << to_string(res.protocol) << " section " << a.section_ns;
+      accs.push_back(as.str());
+    }
+  }
+  for (const std::string& u : srm.unresolved)
+    accs.push_back("access-unresolved \"" + u + '"');
+  std::sort(accs.begin(), accs.end());
+  for (const std::string& a : accs) os << a << '\n';
 
   // Processor bindings, sorted by thread path.
   std::vector<std::string> binds;

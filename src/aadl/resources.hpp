@@ -1,0 +1,66 @@
+// Shared-resource view of an instance model: data components reached by
+// `data access` connections from threads, with their concurrency-control
+// protocol and per-access critical-section bounds.
+//
+// Access connections are deliberately outside the ACSR translation's scope
+// (the explorer walks the lock-free model); this extraction gives the
+// static-analysis tier the blocking structure instead. Conventions:
+//
+//   * `Concurrency_Control_Protocol` on the data component selects the
+//     protocol (identifier or string; "…ceiling…" -> priority ceiling,
+//     "…inheritance…"/"pip" -> priority inheritance; otherwise none).
+//   * `Critical_Section_Time` applied to any syntactic connection on the
+//     thread's access chain bounds how long one dispatch holds the lock.
+//
+// Access chains may pass through `requires/provides data access` features
+// of intermediate components; endpoints are joined on (instance, feature)
+// identity exactly like the port chaser, but undirected (`<->`).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "aadl/instance.hpp"
+
+namespace aadlsched::aadl {
+
+enum class ConcurrencyProtocol : std::uint8_t {
+  None,
+  PriorityInheritance,
+  PriorityCeiling,
+};
+
+std::string_view to_string(ConcurrencyProtocol p);
+
+struct ResourceAccess {
+  const ComponentInstance* thread = nullptr;
+  std::string feature;  // thread-side access feature name (lowercased)
+  std::vector<std::string> via;  // syntactic connection names on the chain
+  /// Critical_Section_Time in nanoseconds; -1 when not specified.
+  std::int64_t section_ns = -1;
+};
+
+struct SharedResourceInfo {
+  const ComponentInstance* data = nullptr;
+  ConcurrencyProtocol protocol = ConcurrencyProtocol::None;
+  /// Raw Concurrency_Control_Protocol text ("" when absent) for reporting.
+  std::string protocol_name;
+  /// Did the protocol text fail to parse? (treated as None, AL016 flags it)
+  bool protocol_unknown = false;
+  std::vector<ResourceAccess> accesses;  // thread endpoints, model order
+};
+
+struct SharedResourceModel {
+  /// Data components with at least one resolved thread access.
+  std::vector<SharedResourceInfo> resources;
+  /// Human-readable descriptions of access connections that could not be
+  /// resolved to a (thread, data component) pair.
+  std::vector<std::string> unresolved;
+
+  bool empty() const { return resources.empty() && unresolved.empty(); }
+};
+
+SharedResourceModel extract_shared_resources(const InstanceModel& model);
+
+}  // namespace aadlsched::aadl

@@ -10,6 +10,48 @@ std::optional<Outcome> outcome_from_string(std::string_view s) {
   return std::nullopt;
 }
 
+namespace {
+
+/// The machine-checkable witnesses backing a static verdict, narrowed to
+/// the passes named in decided_by (other certificates stay available via
+/// --lint-format json). Shape mirrors lint::Report::render_json.
+void append_static_certificate(util::JsonWriter& w, const AnalysisResult& r) {
+  const lint::Report& report = *r.lint_report;
+  w.key("static_certificate").begin_object();
+  w.key("decided_by").value(r.decided_by);
+  w.key("verdict").value(lint::to_string(report.verdict));
+  w.key("lint_pass_version").value(lint::kLintPassVersion);
+  w.key("certificates").begin_array();
+  for (const lint::StaticCertificate& c : report.certificates) {
+    if (r.decided_by.find(c.check_id) == std::string::npos) continue;
+    w.begin_object();
+    w.key("check").value(c.check_id);
+    w.key("kind").value(c.kind);
+    w.key("processor").value(c.processor);
+    w.key("schedulable").value(c.schedulable);
+    w.key("window").value(c.window_q);
+    w.key("demand").value(c.demand_q);
+    w.key("tasks").begin_array();
+    for (const lint::CertTask& t : c.tasks) {
+      w.begin_object();
+      w.key("path").value(t.path);
+      w.key("wcet").value(t.wcet_q);
+      w.key("period").value(t.period_q);
+      w.key("deadline").value(t.deadline_q);
+      w.key("priority").value(t.priority);
+      w.key("blocking").value(t.blocking_q);
+      w.key("response").value(t.response_q);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+}  // namespace
+
 void append_result_fields(util::JsonWriter& w, const AnalysisResult& r) {
   w.key("schema_version").value(kResultSchemaVersion);
   w.key("outcome").value(to_string(r.outcome));
@@ -23,6 +65,9 @@ void append_result_fields(util::JsonWriter& w, const AnalysisResult& r) {
   w.key("explore_ms").value(r.explore_ms);
   w.key("peak_frontier").value(r.peak_frontier);
   if (!r.decided_by.empty()) w.key("decided_by").value(r.decided_by);
+  if (!r.decided_by.empty() && r.lint_report &&
+      r.lint_report->verdict != lint::StaticVerdict::None)
+    append_static_certificate(w, r);
   if (r.outcome == Outcome::Error) w.key("error").value(r.diagnostics);
 }
 

@@ -1,6 +1,9 @@
 #include "core/taskset_aadl.hpp"
 
+#include <algorithm>
+#include <map>
 #include <sstream>
+#include <utility>
 
 namespace aadlsched::core {
 
@@ -16,13 +19,36 @@ std::string_view protocol_property_name(sched::SchedulingPolicy policy) {
   return "RATE_MONOTONIC_PROTOCOL";
 }
 
-std::string taskset_to_aadl(const sched::TaskSet& ts,
-                            sched::SchedulingPolicy policy,
-                            std::int64_t quantum_ns) {
+namespace {
+
+std::string_view lock_protocol_property_name(sched::LockProtocol p) {
+  switch (p) {
+    case sched::LockProtocol::PriorityCeiling:
+      return "PRIORITY_CEILING_PROTOCOL";
+    case sched::LockProtocol::PriorityInheritance:
+      return "PRIORITY_INHERITANCE_PROTOCOL";
+    case sched::LockProtocol::None:
+      break;
+  }
+  return "NONE_SPECIFIED";
+}
+
+std::string render(const sched::TaskSet& ts, sched::SchedulingPolicy policy,
+                   std::int64_t quantum_ns,
+                   const sched::ResourceModel* rm) {
   std::ostringstream os;
   const auto ns = [&](sched::Time quanta) {
     return std::to_string(quanta * quantum_ns) + " ns";
   };
+
+  // (task, resource) -> longest critical section; one access feature and
+  // one connection per pair (the extractor keeps one duration per access).
+  std::map<std::pair<std::size_t, std::size_t>, sched::Time> acc;
+  if (rm)
+    for (const sched::CriticalSection& cs : rm->sections) {
+      auto [it, fresh] = acc.try_emplace({cs.task, cs.resource}, cs.duration);
+      if (!fresh) it->second = std::max(it->second, cs.duration);
+    }
 
   int max_cpu = 0;
   for (const sched::Task& t : ts.tasks)
@@ -31,6 +57,13 @@ std::string taskset_to_aadl(const sched::TaskSet& ts,
   os << "package Gen\npublic\n\n";
   os << "  processor GenCpu\n  properties\n    Scheduling_Protocol => "
      << protocol_property_name(policy) << ";\n  end GenCpu;\n\n";
+
+  if (rm)
+    for (std::size_t r = 0; r < rm->resources.size(); ++r)
+      os << "  data R" << r << "\n  properties\n"
+         << "    Concurrency_Control_Protocol => "
+         << lock_protocol_property_name(rm->resources[r].protocol)
+         << ";\n  end R" << r << ";\n\n";
 
   bool any_sporadic = false;
   for (const sched::Task& t : ts.tasks)
@@ -46,9 +79,17 @@ std::string taskset_to_aadl(const sched::TaskSet& ts,
     const std::string name = "T" + std::to_string(i);
     const bool triggered = t.kind == sched::DispatchKind::Sporadic ||
                            t.kind == sched::DispatchKind::Aperiodic;
+    std::vector<std::size_t> used;
+    if (rm)
+      for (const auto& [key, dur] : acc)
+        if (key.first == i) used.push_back(key.second);
     os << "  thread " << name << "\n";
-    if (triggered)
-      os << "  features\n    trig : in event port;\n";
+    if (triggered || !used.empty()) {
+      os << "  features\n";
+      if (triggered) os << "    trig : in event port;\n";
+      for (const std::size_t r : used)
+        os << "    res" << r << " : requires data access R" << r << ";\n";
+    }
     os << "  end " << name << ";\n\n";
     os << "  thread implementation " << name << ".impl\n  properties\n";
     switch (t.kind) {
@@ -82,6 +123,9 @@ std::string taskset_to_aadl(const sched::TaskSet& ts,
     os << "    cpu" << c << " : processor GenCpu;\n";
   for (std::size_t i = 0; i < ts.tasks.size(); ++i)
     os << "    t" << i << " : thread T" << i << ".impl;\n";
+  if (rm)
+    for (std::size_t r = 0; r < rm->resources.size(); ++r)
+      os << "    sh" << r << " : data R" << r << ";\n";
   // One environment device per triggered task so each queue has a source.
   for (std::size_t i = 0; i < ts.tasks.size(); ++i) {
     const sched::Task& t = ts.tasks[i];
@@ -100,6 +144,12 @@ std::string taskset_to_aadl(const sched::TaskSet& ts,
       any_conn = true;
     }
   }
+  for (const auto& [key, dur] : acc) {
+    conns << "    a" << key.first << "_" << key.second << " : data access t"
+          << key.first << ".res" << key.second << " -> sh" << key.second
+          << ";\n";
+    any_conn = true;
+  }
   if (any_conn) os << "  connections\n" << conns.str();
   os << "  properties\n";
   for (std::size_t i = 0; i < ts.tasks.size(); ++i)
@@ -112,8 +162,26 @@ std::string taskset_to_aadl(const sched::TaskSet& ts,
       os << "    Period => " << ns(t.period) << " applies to env" << i
          << ";\n";
   }
+  for (const auto& [key, dur] : acc)
+    os << "    Critical_Section_Time => " << ns(dur) << " applies to a"
+       << key.first << "_" << key.second << ";\n";
   os << "  end Root.impl;\n\nend Gen;\n";
   return os.str();
+}
+
+}  // namespace
+
+std::string taskset_to_aadl(const sched::TaskSet& ts,
+                            sched::SchedulingPolicy policy,
+                            std::int64_t quantum_ns) {
+  return render(ts, policy, quantum_ns, nullptr);
+}
+
+std::string taskset_to_aadl_shared(const sched::TaskSet& ts,
+                                   sched::SchedulingPolicy policy,
+                                   const sched::ResourceModel& resources,
+                                   std::int64_t quantum_ns) {
+  return render(ts, policy, quantum_ns, &resources);
 }
 
 }  // namespace aadlsched::core

@@ -10,6 +10,7 @@
 
 #include <string>
 
+#include "sched/blocking.hpp"
 #include "sched/simulator.hpp"
 #include "sched/task.hpp"
 
@@ -25,5 +26,17 @@ std::string_view protocol_property_name(sched::SchedulingPolicy policy);
 std::string taskset_to_aadl(const sched::TaskSet& ts,
                             sched::SchedulingPolicy policy,
                             std::int64_t quantum_ns = 1'000'000);
+
+/// Like taskset_to_aadl, but additionally renders the resource model as
+/// shared data components: one `data R<j>` per resource (carrying its
+/// Concurrency_Control_Protocol), a `requires data access` feature plus an
+/// access connection per critical section, and a Critical_Section_Time
+/// association per connection. Durations are multiples of `quantum_ns`.
+/// This drives the shared-resource agreement experiments (EXPERIMENTS.md
+/// E12) through the same front end the AL015/AL016 passes read.
+std::string taskset_to_aadl_shared(const sched::TaskSet& ts,
+                                   sched::SchedulingPolicy policy,
+                                   const sched::ResourceModel& resources,
+                                   std::int64_t quantum_ns = 1'000'000);
 
 }  // namespace aadlsched::core

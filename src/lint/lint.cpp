@@ -68,6 +68,8 @@ std::string Report::render_text() const {
 std::string Report::render_json() const {
   std::ostringstream os;
   os << "{\n";
+  os << "  \"schema_version\": " << kLintSchemaVersion << ",\n";
+  os << "  \"lint_pass_version\": " << kLintPassVersion << ",\n";
   os << "  \"verdict\": \"" << to_string(verdict) << "\",\n";
   os << "  \"translated\": " << (translated ? "true" : "false") << ",\n";
   os << "  \"decided_by\": \"" << util::json_escape(decided_by) << "\",\n";
@@ -97,6 +99,28 @@ std::string Report::render_json() const {
        << util::json_escape(pv.detail) << "\"}";
   }
   os << (processor_verdicts.empty() ? "]" : "\n  ]") << ",\n";
+  os << "  \"certificates\": [";
+  for (std::size_t i = 0; i < certificates.size(); ++i) {
+    const StaticCertificate& c = certificates[i];
+    os << (i ? ",\n    " : "\n    ");
+    os << "{\"check\": \"" << c.check_id << "\", \"kind\": \"" << c.kind
+       << "\", \"processor\": \"" << util::json_escape(c.processor)
+       << "\", \"schedulable\": " << (c.schedulable ? "true" : "false")
+       << ", \"window\": " << c.window_q << ", \"demand\": " << c.demand_q
+       << ", \"tasks\": [";
+    for (std::size_t j = 0; j < c.tasks.size(); ++j) {
+      const CertTask& t = c.tasks[j];
+      os << (j ? ",\n      " : "\n      ");
+      os << "{\"path\": \"" << util::json_escape(t.path)
+         << "\", \"wcet\": " << t.wcet_q << ", \"period\": " << t.period_q
+         << ", \"deadline\": " << t.deadline_q
+         << ", \"priority\": " << t.priority
+         << ", \"blocking\": " << t.blocking_q
+         << ", \"response\": " << t.response_q << '}';
+    }
+    os << (c.tasks.empty() ? "]}" : "\n    ]}");
+  }
+  os << (certificates.empty() ? "]" : "\n  ]") << ",\n";
   os << "  \"skipped\": [";
   for (std::size_t i = 0; i < skipped.size(); ++i)
     os << (i ? ", " : "") << '"' << skipped[i] << '"';
@@ -135,6 +159,11 @@ void Sink::conclusive(StaticVerdict v, std::string detail) {
   report_.verdict_detail = std::move(detail);
 }
 
+void Sink::certificate(StaticCertificate cert) {
+  cert.check_id = std::string(current_ ? current_->id : "?");
+  report_.certificates.push_back(std::move(cert));
+}
+
 void Sink::processor_verdict(std::string processor, bool schedulable,
                              std::string detail) {
   ProcessorVerdict pv;
@@ -163,6 +192,7 @@ const Registry& Registry::builtin() {
     auto* r = new Registry;
     register_model_passes(*r);
     register_screening_passes(*r);
+    register_exact_passes(*r);
     register_acsr_passes(*r);
     return r;
   }();

@@ -43,11 +43,31 @@ enum class Tier : std::uint8_t {
 
 std::string_view to_string(Tier t);
 
+/// Version of the built-in pass catalogue and its verdict semantics. Bumped
+/// whenever passes are added/removed or their conclusions change, so cached
+/// service results computed by an older catalogue are not served as fresh
+/// (the daemon folds this into its options cache key).
+///   v1: AL001..AL012 (PR 2/3).
+///   v2: exact screens AL013/AL014, blocking-aware AL015, hazard AL016,
+///       machine-checkable certificates.
+inline constexpr int kLintPassVersion = 2;
+
+/// Shape version of Report::render_json() output. Additions are
+/// backward-compatible and do not bump it; renames/removals do.
+inline constexpr int kLintSchemaVersion = 1;
+
 struct CheckInfo {
   std::string_view id;       // stable, e.g. "AL001"
   std::string_view name;     // kebab-case, e.g. "unbound-thread"
   std::string_view summary;  // one line for the catalogue
   Tier tier = Tier::ModelHygiene;
+  /// What the pass' verdicts mean: "advisory" (findings only),
+  /// "sufficient" (may vouch Schedulable, never refutes), or "exact"
+  /// (conclusive either way within its stated fragment).
+  std::string_view contract = "advisory";
+  /// Why the verdict agrees with exploration (the DESIGN.md §9/§14
+  /// soundness argument, one paragraph, for --explain).
+  std::string_view rationale = "";
 };
 
 struct Finding {
@@ -75,8 +95,49 @@ struct ProcessorVerdict {
   std::string detail;
 };
 
+/// One task row of a static certificate, in the translator's quantized
+/// units and effective (post-protocol) priorities — exactly the parameters
+/// exploration itself would use, so a checker needs no AADL frontend.
+struct CertTask {
+  std::string path;
+  std::int64_t wcet_q = 0;
+  std::int64_t period_q = 0;
+  std::int64_t deadline_q = 0;
+  int priority = 0;              // effective fixed priority (0 for EDF)
+  std::int64_t blocking_q = 0;   // B_i blocking term (AL015)
+  std::int64_t response_q = -1;  // claimed worst-case response (schedulable)
+};
+
+/// Machine-checkable witness backing a conclusive static claim. Kinds:
+///   "fp-response-bound"     — R_i is a fixed point of the RTA recurrence
+///                             (equal-priority tasks counted as
+///                             interference) and R_i <= D_i for every task
+///   "fp-overload-witness"   — demand on [0, window_q] by the witness task
+///                             and its higher-priority tasks is demand_q >
+///                             window_q (window_q = the task's deadline)
+///   "edf-demand"            — dbf(d) <= d for every absolute deadline
+///                             d <= window_q (the QPA check bound)
+///   "edf-overflow-witness"  — dbf(window_q) = demand_q > window_q
+///   "utilization-overload"  — sum wcet_q/period_q > 1 over the tasks
+///   "hyperbolic-bound"      — prod(wcet_q + period_q) <= 2 prod(period_q)
+///   "edf-utilization"       — sum wcet_q/period_q <= 1 (implicit deadlines)
+///   "wcet-exceeds-deadline" — single task with wcet_q > deadline_q
+struct StaticCertificate {
+  std::string check_id;   // emitting pass
+  std::string kind;
+  std::string processor;  // instance path ("" for single-thread witnesses)
+  bool schedulable = false;
+  std::vector<CertTask> tasks;
+  std::int64_t window_q = -1;  // checked horizon / witness window
+  std::int64_t demand_q = -1;  // demand over the witness window
+};
+
 struct Report {
   std::vector<Finding> findings;
+  /// Witnesses for every conclusive or per-processor claim made by the
+  /// screening tier; each is independently checkable even when no
+  /// whole-model verdict was promoted.
+  std::vector<StaticCertificate> certificates;
   StaticVerdict verdict = StaticVerdict::None;
   std::string decided_by;  // check id(s) that produced the verdict
   std::string verdict_detail;
@@ -135,6 +196,9 @@ class Sink {
   /// Record a sufficient per-processor schedulability claim.
   void processor_verdict(std::string processor, bool schedulable,
                          std::string detail);
+  /// Attach a machine-checkable witness (check_id is filled in from the
+  /// running pass).
+  void certificate(StaticCertificate cert);
 
  private:
   Report& report_;

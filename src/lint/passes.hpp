@@ -10,6 +10,7 @@ class Registry;
 
 void register_model_passes(Registry& reg);      // AL001..AL006
 void register_screening_passes(Registry& reg);  // AL007..AL009
+void register_exact_passes(Registry& reg);      // AL013..AL016
 void register_acsr_passes(Registry& reg);       // AL010..AL012
 
 }  // namespace aadlsched::lint

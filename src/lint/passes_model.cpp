@@ -307,7 +307,11 @@ class InconsistentTimingPass final : public Pass {
         "AL005", "inconsistent-timing",
         "timing properties must be mutually consistent and survive "
         "quantization (cmin <= cmax, deadline <= period, period >= quantum)",
-        Tier::ModelHygiene};
+        Tier::ModelHygiene, "exact (refute-only)",
+        "Mostly advisory hygiene, but a periodic thread whose quantized "
+        "WCET exceeds its quantized deadline misses even when it runs "
+        "alone, and the all-WCET execution is always a reachable branch of "
+        "the exploration — so that specific finding refutes conclusively."};
     return kInfo;
   }
   void run(const Subject& subject, Sink& sink) const override {
@@ -356,12 +360,25 @@ class InconsistentTimingPass final : public Pass {
           // A periodic thread dispatches unconditionally, and the explorer
           // always contains the all-cmax execution (`done` is a choice), so
           // this miss is guaranteed reachable.
-          if (periodic)
+          if (periodic) {
             sink.conclusive(
                 StaticVerdict::NotSchedulable,
                 "periodic thread '" + t->path + "' cannot meet its deadline "
                 "even alone (cmax " + std::to_string(cmax_q) +
                     " > deadline " + std::to_string(dl_q) + " quanta)");
+            StaticCertificate cert;
+            cert.kind = "wcet-exceeds-deadline";
+            cert.schedulable = false;
+            CertTask row;
+            row.path = t->path;
+            row.wcet_q = cmax_q;
+            row.period_q = rt.period_ns ? *rt.period_ns / q : 0;
+            row.deadline_q = dl_q;
+            cert.tasks.push_back(std::move(row));
+            cert.window_q = dl_q;
+            cert.demand_q = cmax_q;
+            sink.certificate(std::move(cert));
+          }
         }
       }
     }

@@ -16,159 +16,40 @@
 //
 // All conclusive arithmetic is exact (128-bit integer over the quantized
 // values the explorer itself uses); floating point only feeds warnings and
-// note-level reporting.
+// note-level reporting. Every claim ships a StaticCertificate so an
+// independent checker can replay the bound (DESIGN.md §14).
 #include <sstream>
 #include <string>
 #include <vector>
 
-#include "aadl/properties.hpp"
-#include "lint/lint.hpp"
 #include "lint/passes.hpp"
+#include "lint/screen_view.hpp"
 #include "sched/analysis.hpp"
 
 namespace aadlsched::lint {
 
 namespace {
 
-using aadl::ComponentInstance;
 using aadl::DispatchProtocol;
-using aadl::InstanceModel;
 using aadl::SchedulingProtocol;
 
 using I128 = __int128;
 
-std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
-  return (a + b - 1) / b;
-}
-
-I128 gcd128(I128 a, I128 b) {
-  while (b != 0) {
-    const I128 t = a % b;
-    a = b;
-    b = t;
-  }
-  return a < 0 ? -a : a;
-}
-
-struct ScreenTask {
-  std::string path;
-  DispatchProtocol dispatch = DispatchProtocol::Periodic;
-  std::int64_t cmin_q = 0, cmax_q = 0, period_q = 0, deadline_q = 0;
-};
-
-struct ScreenCpu {
-  const ComponentInstance* cpu = nullptr;
-  std::optional<SchedulingProtocol> protocol;
-  std::vector<ScreenTask> tasks;
-  bool complete = true;  // every bound thread yielded full, valid timing
-};
-
-/// Quantized per-processor task view. Replicates the translator's rounding
-/// (execution times up, periods/deadlines down) so screening sees exactly
-/// the parameters exploration would; deliberately does not use
-/// core::extract_taskset (core depends on lint, not the other way around).
-std::vector<ScreenCpu> extract(const Subject& subject) {
-  const InstanceModel& m = *subject.instance;
-  const std::int64_t q = subject.topts.quantum_ns;
-  std::vector<ScreenCpu> cpus;
-  if (q <= 0) return cpus;
-  for (const ComponentInstance* cpu : m.processors) {
-    const auto threads = m.threads_on(cpu);
-    if (threads.empty()) continue;
-    ScreenCpu sc;
-    sc.cpu = cpu;
-    util::DiagnosticEngine scratch("<lint>");
-    sc.protocol = aadl::scheduling_protocol(m, *cpu, scratch);
-    for (const ComponentInstance* t : threads) {
-      util::DiagnosticEngine tscratch("<lint>");
-      const auto tp = aadl::thread_properties(m, *t, tscratch);
-      if (!tp) {
-        sc.complete = false;
-        continue;
-      }
-      ScreenTask st;
-      st.path = t->path;
-      st.dispatch = tp->dispatch;
-      st.cmin_q = ceil_div(tp->compute_min_ns, q);
-      st.cmax_q = ceil_div(tp->compute_max_ns, q);
-      st.period_q = tp->period_ns / q;
-      st.deadline_q = tp->deadline_ns / q;
-      sc.tasks.push_back(std::move(st));
-    }
-    cpus.push_back(std::move(sc));
-  }
-  return cpus;
-}
-
-/// Exact utilization comparison over the quantized view: returns the sign
-/// of (sum cmax/period) - 1 as -1/0/+1, or nullopt when the exact
-/// accumulation would overflow 128-bit.
-std::optional<int> utilization_vs_one(const std::vector<ScreenTask>& tasks,
-                                      bool periodic_only) {
-  // Accumulate num/den with gcd reduction; bail out near the 128-bit edge.
-  constexpr I128 kCap = static_cast<I128>(1) << 100;
-  I128 num = 0, den = 1;
-  for (const ScreenTask& t : tasks) {
-    if (periodic_only && t.dispatch != DispatchProtocol::Periodic) continue;
-    if (t.dispatch == DispatchProtocol::Aperiodic ||
-        t.dispatch == DispatchProtocol::Background)
-      continue;  // no utilization bound
-    if (t.period_q <= 0) continue;  // AL005 flags this
-    if (den > kCap / t.period_q) return std::nullopt;
-    num = num * t.period_q + static_cast<I128>(t.cmax_q) * den;
-    den = den * t.period_q;
-    const I128 g = gcd128(num, den);
-    if (g > 1) {
-      num /= g;
-      den /= g;
-    }
-    if (num > kCap) return std::nullopt;
-  }
-  if (num > den) return 1;
-  if (num < den) return -1;
-  return 0;
-}
-
-double utilization_double(const std::vector<ScreenTask>& tasks,
-                          bool periodic_only) {
-  double u = 0;
-  for (const ScreenTask& t : tasks) {
-    if (periodic_only && t.dispatch != DispatchProtocol::Periodic) continue;
-    if (t.dispatch == DispatchProtocol::Aperiodic ||
-        t.dispatch == DispatchProtocol::Background)
-      continue;
-    if (t.period_q <= 0) continue;
-    u += static_cast<double>(t.cmax_q) / static_cast<double>(t.period_q);
-  }
-  return u;
-}
-
-/// Is the whole model free of features the classical per-processor task
-/// abstraction cannot express (event chains, bus contention)?
-bool model_is_pure(const InstanceModel& m) {
-  for (const aadl::SemanticConnection& sc : m.connections) {
-    if (sc.kind == aadl::FeatureKind::EventPort ||
-        sc.kind == aadl::FeatureKind::EventDataPort)
-      return false;
-    if (sc.bus) return false;
-  }
-  return true;
-}
-
-bool all_periodic_implicit(const ScreenCpu& sc) {
+/// Certificate rows for the processor's tasks (periodic-only for the
+/// overload witness, everything otherwise).
+std::vector<CertTask> cert_tasks(const ScreenCpu& sc, bool periodic_only) {
+  std::vector<CertTask> rows;
   for (const ScreenTask& t : sc.tasks) {
-    if (t.dispatch != DispatchProtocol::Periodic) return false;
-    if (t.period_q <= 0 || t.deadline_q != t.period_q) return false;
+    if (periodic_only && t.dispatch != DispatchProtocol::Periodic) continue;
+    CertTask row;
+    row.path = t.path;
+    row.wcet_q = t.cmax_q;
+    row.period_q = t.period_q;
+    row.deadline_q = t.deadline_q;
+    row.priority = t.priority;
+    rows.push_back(std::move(row));
   }
-  return !sc.tasks.empty();
-}
-
-std::string utilization_string(const std::vector<ScreenTask>& tasks,
-                               bool periodic_only) {
-  std::ostringstream os;
-  os.precision(4);
-  os << utilization_double(tasks, periodic_only);
-  return os.str();
+  return rows;
 }
 
 // --- AL007 ----------------------------------------------------------------
@@ -180,11 +61,16 @@ class UtilizationOverloadPass final : public Pass {
         "AL007", "utilization-overload",
         "per-processor utilization of periodic threads > 1 is a guaranteed "
         "deadline miss",
-        Tier::Screening};
+        Tier::Screening, "exact (refute-only)",
+        "Periodic threads dispatch unconditionally and the all-WCET "
+        "execution is always a reachable branch, so demand above capacity "
+        "over the hyperperiod forces a miss that exploration would also "
+        "find. The sum is evaluated in exact 128-bit arithmetic over the "
+        "same quantized parameters the explorer uses."};
     return kInfo;
   }
   void run(const Subject& subject, Sink& sink) const override {
-    for (const ScreenCpu& sc : extract(subject)) {
+    for (const ScreenCpu& sc : extract_screen_cpus(subject)) {
       const auto periodic_sign = utilization_vs_one(sc.tasks, true);
       if (periodic_sign && *periodic_sign > 0) {
         const std::string u = utilization_string(sc.tasks, true);
@@ -196,6 +82,12 @@ class UtilizationOverloadPass final : public Pass {
                         "processor '" + sc.cpu->path +
                             "' is overloaded by periodic threads alone "
                             "(U = " + u + " > 1)");
+        StaticCertificate cert;
+        cert.kind = "utilization-overload";
+        cert.processor = sc.cpu->path;
+        cert.schedulable = false;
+        cert.tasks = cert_tasks(sc, true);
+        sink.certificate(std::move(cert));
         continue;
       }
       // Sporadic threads at their minimum separation may overstate real
@@ -219,12 +111,17 @@ class RmUtilizationBoundPass final : public Pass {
         "AL008", "rm-utilization-bound",
         "hyperbolic/Liu-Layland bound for rate-/deadline-monotonic "
         "processors (sufficient)",
-        Tier::Screening};
+        Tier::Screening, "sufficient",
+        "Bini's hyperbolic bound prod(U_i + 1) <= 2 is sufficient for "
+        "rate-monotonic scheduling of independent periodic tasks with "
+        "implicit deadlines; it is only offered when the task abstraction "
+        "is exact (pure model), where a schedulable task set means "
+        "exploration finds no deadlock."};
     return kInfo;
   }
   void run(const Subject& subject, Sink& sink) const override {
     if (!model_is_pure(*subject.instance)) return;
-    for (const ScreenCpu& sc : extract(subject)) {
+    for (const ScreenCpu& sc : extract_screen_cpus(subject)) {
       if (!sc.complete || !sc.protocol) continue;
       if (*sc.protocol != SchedulingProtocol::RateMonotonic &&
           *sc.protocol != SchedulingProtocol::DeadlineMonotonic)
@@ -258,6 +155,12 @@ class RmUtilizationBoundPass final : public Pass {
          << sc.tasks.size() << " is " << ll << ")";
       sink.note(sc.cpu->path, "rate-monotonic bound holds: " + os.str());
       sink.processor_verdict(sc.cpu->path, true, os.str());
+      StaticCertificate cert;
+      cert.kind = "hyperbolic-bound";
+      cert.processor = sc.cpu->path;
+      cert.schedulable = true;
+      cert.tasks = cert_tasks(sc, false);
+      sink.certificate(std::move(cert));
     }
   }
 };
@@ -270,12 +173,16 @@ class EdfUtilizationPass final : public Pass {
     static const CheckInfo kInfo{
         "AL009", "edf-utilization",
         "U <= 1 is exact for EDF/LLF with periodic implicit-deadline tasks",
-        Tier::Screening};
+        Tier::Screening, "sufficient",
+        "U <= 1 is necessary and sufficient for EDF with independent "
+        "periodic implicit-deadline tasks on one processor; LLF shares the "
+        "optimality argument. Evaluated as an exact fraction; only offered "
+        "on pure models where the task abstraction is exact."};
     return kInfo;
   }
   void run(const Subject& subject, Sink& sink) const override {
     if (!model_is_pure(*subject.instance)) return;
-    for (const ScreenCpu& sc : extract(subject)) {
+    for (const ScreenCpu& sc : extract_screen_cpus(subject)) {
       if (!sc.complete || !sc.protocol) continue;
       if (*sc.protocol != SchedulingProtocol::Edf &&
           *sc.protocol != SchedulingProtocol::Llf)
@@ -288,6 +195,12 @@ class EdfUtilizationPass final : public Pass {
                 "EDF utilization test holds exactly: U = " + u + " <= 1");
       sink.processor_verdict(sc.cpu->path, true,
                              "EDF utilization U = " + u + " <= 1 (exact)");
+      StaticCertificate cert;
+      cert.kind = "edf-utilization";
+      cert.processor = sc.cpu->path;
+      cert.schedulable = true;
+      cert.tasks = cert_tasks(sc, false);
+      sink.certificate(std::move(cert));
     }
   }
 };

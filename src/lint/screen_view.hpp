@@ -1,0 +1,73 @@
+// Quantized per-processor task view shared by the screening and exact
+// lint tiers. Replicates the translator's rounding (execution times up,
+// periods/deadlines/offsets down) and its per-processor priority
+// assignment, so static analyses see exactly the parameters exploration
+// would; deliberately does not use core::extract_taskset (core depends on
+// lint, not the other way around).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "aadl/properties.hpp"
+#include "lint/lint.hpp"
+
+namespace aadlsched::lint {
+
+struct ScreenTask {
+  const aadl::ComponentInstance* inst = nullptr;
+  std::string path;
+  aadl::DispatchProtocol dispatch = aadl::DispatchProtocol::Periodic;
+  std::int64_t cmin_q = 0, cmax_q = 0, period_q = 0, deadline_q = 0;
+  std::int64_t offset_q = 0;  // Dispatch_Offset (clamped like the translator)
+  /// Effective scheduling priority mirroring translate::assign_priorities
+  /// (RM/DM rank, HPF declared+2, EDF/LLF 0, background floor); larger is
+  /// more important. Meaningless when ScreenCpu::priorities_ok is false.
+  int priority = 0;
+};
+
+struct ScreenCpu {
+  const aadl::ComponentInstance* cpu = nullptr;
+  std::optional<aadl::SchedulingProtocol> protocol;
+  std::vector<ScreenTask> tasks;  // model order (= translator order)
+  bool complete = true;  // every bound thread yielded full, valid timing
+  /// False when HPF is selected but some non-background thread lacks the
+  /// required Priority property (the translator errors there).
+  bool priorities_ok = true;
+};
+
+std::vector<ScreenCpu> extract_screen_cpus(const Subject& subject);
+
+/// Exact utilization comparison over the quantized view: returns the sign
+/// of (sum cmax/period) - 1 as -1/0/+1, or nullopt when the exact
+/// accumulation would overflow 128-bit.
+std::optional<int> utilization_vs_one(const std::vector<ScreenTask>& tasks,
+                                      bool periodic_only);
+
+double utilization_double(const std::vector<ScreenTask>& tasks,
+                          bool periodic_only);
+
+std::string utilization_string(const std::vector<ScreenTask>& tasks,
+                               bool periodic_only);
+
+/// Is the whole model free of features the classical per-processor task
+/// abstraction cannot express (event chains, bus contention)? Data access
+/// connections do not count against purity: exploration ignores them, and
+/// the blocking-aware passes over-approximate them.
+bool model_is_pure(const aadl::InstanceModel& m);
+
+/// All tasks periodic with implicit deadlines (deadline == period) after
+/// quantization — the fragment of the utilization-bound screens.
+bool all_periodic_implicit(const ScreenCpu& sc);
+
+/// All tasks periodic with constrained deadlines (1 <= deadline <= period)
+/// after quantization — the fragment of the exact RTA/QPA screens.
+bool all_periodic_constrained(const ScreenCpu& sc);
+
+/// Do all tasks dispatch synchronously (no Dispatch_Offset)? The critical
+/// instant behind the NotSchedulable witnesses needs a synchronous release.
+bool all_zero_offsets(const ScreenCpu& sc);
+
+}  // namespace aadlsched::lint

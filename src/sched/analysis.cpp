@@ -35,7 +35,8 @@ Verdict edf_utilization_test(const TaskSet& ts) {
 }
 
 RtaResult response_time_analysis(const TaskSet& ts,
-                                 const std::vector<Time>* blocking) {
+                                 const std::vector<Time>* blocking,
+                                 bool ties_interfere) {
   RtaResult result;
   result.response.assign(ts.tasks.size(), -1);
   result.verdict = Verdict::Schedulable;
@@ -52,9 +53,11 @@ RtaResult response_time_analysis(const TaskSet& ts,
         if (j == i) continue;
         const Task& tj = ts.tasks[j];
         // Higher priority interferes; ties broken by index for determinism
-        // (matches the distinct-priority assignment helpers).
-        const bool higher = tj.priority > ti.priority ||
-                            (tj.priority == ti.priority && j < i);
+        // (matches the distinct-priority assignment helpers) unless the
+        // caller asked for the pessimistic both-ways reading.
+        const bool higher =
+            tj.priority > ti.priority ||
+            (tj.priority == ti.priority && (ties_interfere || j < i));
         if (!higher) continue;
         next += util::ceil_div(r, tj.period) * tj.wcet;
       }
@@ -106,7 +109,25 @@ Time demand_check_bound(const TaskSet& ts) {
   return bound;
 }
 
+/// Smallest failing absolute deadline at or below a known-failing point.
+/// Any t with dbf(t) > t is preceded (weakly) by a failing deadline, so the
+/// scan is exhaustive; used to make QPA's witness canonical.
+Time first_overflow_at_or_below(const TaskSet& ts, Time limit) {
+  Time best = limit;
+  for (const Task& task : ts.tasks) {
+    for (Time d = task.deadline; d <= best; d += task.period) {
+      if (demand_bound(ts, d) > d) {
+        best = d;
+        break;
+      }
+    }
+  }
+  return best;
+}
+
 }  // namespace
+
+Time edf_check_bound(const TaskSet& ts) { return demand_check_bound(ts); }
 
 EdfResult edf_demand_analysis(const TaskSet& ts) {
   EdfResult result;
@@ -115,17 +136,27 @@ EdfResult edf_demand_analysis(const TaskSet& ts) {
     return result;
   }
   const Time bound = demand_check_bound(ts);
-  // Check every absolute deadline up to the bound.
+  // Check every absolute deadline up to the bound. Keep scanning after a
+  // hit so the reported point is the *globally* earliest overflow — each
+  // task's deadline chain is ascending, but chains interleave, and the
+  // certificate machinery pins witnesses to the first failing instant.
+  bool found = false;
+  Time first = bound;
   for (const Task& task : ts.tasks) {
-    for (Time d = task.deadline; d <= bound; d += task.period) {
+    for (Time d = task.deadline; d <= first; d += task.period) {
       if (demand_bound(ts, d) > d) {
-        result.verdict = Verdict::Unschedulable;
-        result.overflow_point = d;
-        return result;
+        found = true;
+        first = d;
+        break;
       }
     }
   }
-  result.verdict = Verdict::Schedulable;
+  if (found) {
+    result.verdict = Verdict::Unschedulable;
+    result.overflow_point = first;
+  } else {
+    result.verdict = Verdict::Schedulable;
+  }
   return result;
 }
 
@@ -159,7 +190,9 @@ EdfResult edf_qpa(const TaskSet& ts) {
     const Time h = demand_bound(ts, t);
     if (h > t) {
       result.verdict = Verdict::Unschedulable;
-      result.overflow_point = t;
+      // QPA lands on *a* failing point while descending; normalize to the
+      // first overflow so the witness matches edf_demand_analysis.
+      result.overflow_point = first_overflow_at_or_below(ts, t);
       return result;
     }
     t = h < t ? h : last_deadline_before(t);

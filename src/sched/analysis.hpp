@@ -46,8 +46,14 @@ struct RtaResult {
 /// Exact response-time analysis for preemptive fixed-priority scheduling of
 /// independent tasks with constrained deadlines on one processor.
 /// `blocking[i]` (optional) adds a per-task blocking term B_i.
+/// With `ties_interfere`, every distinct task of equal priority is charged
+/// as interference (instead of the deterministic index tie-break): that is
+/// the sound, pessimistic reading when the scheduler may break priority
+/// ties either way — required when vouching for exploration, which
+/// enumerates all tie interleavings.
 RtaResult response_time_analysis(const TaskSet& ts,
-                                 const std::vector<Time>* blocking = nullptr);
+                                 const std::vector<Time>* blocking = nullptr,
+                                 bool ties_interfere = false);
 
 struct EdfResult {
   Verdict verdict = Verdict::Unknown;
@@ -67,5 +73,10 @@ EdfResult edf_qpa(const TaskSet& ts);
 
 /// Demand bound function of a task set at interval length t (synchronous).
 Time demand_bound(const TaskSet& ts, Time t);
+
+/// The interval-length bound up to which edf_demand_analysis / edf_qpa
+/// check dbf(t) <= t (min of hyperperiod- and utilization-based bounds).
+/// Exposed so certificate emitters can record the checked horizon.
+Time edf_check_bound(const TaskSet& ts);
 
 }  // namespace aadlsched::sched

@@ -1,0 +1,104 @@
+#include "sched/blocking.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace aadlsched::sched {
+
+std::string_view to_string(LockProtocol p) {
+  switch (p) {
+    case LockProtocol::None: return "none";
+    case LockProtocol::PriorityInheritance: return "priority-inheritance";
+    case LockProtocol::PriorityCeiling: return "priority-ceiling";
+  }
+  return "?";
+}
+
+std::size_t ResourceModel::user_count(std::size_t r) const {
+  std::set<std::size_t> users;
+  for (const CriticalSection& cs : sections)
+    if (cs.resource == r) users.insert(cs.task);
+  return users.size();
+}
+
+std::vector<int> priority_ceilings(const TaskSet& ts,
+                                   const ResourceModel& rm) {
+  std::vector<int> ceilings(rm.resources.size(), -1);
+  for (const CriticalSection& cs : rm.sections) {
+    if (cs.task >= ts.tasks.size() || cs.resource >= ceilings.size())
+      continue;
+    ceilings[cs.resource] =
+        std::max(ceilings[cs.resource], ts.tasks[cs.task].priority);
+  }
+  return ceilings;
+}
+
+namespace {
+
+/// Can a section on resource r (held by a strictly lower-priority task)
+/// block a task of priority prio at all?
+bool section_blocks(const ResourceModel& rm, const TaskSet& ts,
+                    const std::vector<int>& ceilings, std::size_t r, int prio,
+                    std::size_t holder) {
+  switch (rm.resources[r].protocol) {
+    case LockProtocol::PriorityCeiling:
+      // Only resources whose ceiling reaches the task's priority matter.
+      return ceilings[r] >= prio;
+    case LockProtocol::PriorityInheritance:
+      // Direct blocking or push-through: the resource must be used by some
+      // task at or above the blocked task's priority (other than the
+      // holder), or inheritance never lifts the holder into its way.
+      for (const CriticalSection& cs : rm.sections) {
+        if (cs.resource != r || cs.task == holder) continue;
+        if (cs.task < ts.tasks.size() &&
+            ts.tasks[cs.task].priority >= prio)
+          return true;
+      }
+      return false;
+    case LockProtocol::None:
+      return false;  // unbounded; handled by the caller
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<std::vector<Time>> blocking_terms(const TaskSet& ts,
+                                                const ResourceModel& rm) {
+  // A shared resource without a protocol has no finite blocking bound.
+  for (std::size_t r = 0; r < rm.resources.size(); ++r)
+    if (rm.resources[r].protocol == LockProtocol::None &&
+        rm.user_count(r) >= 2)
+      return std::nullopt;
+
+  const std::vector<int> ceilings = priority_ceilings(ts, rm);
+  std::vector<Time> terms(ts.tasks.size(), 0);
+
+  for (std::size_t i = 0; i < ts.tasks.size(); ++i) {
+    const int prio = ts.tasks[i].priority;
+    // Per lower-priority task: its longest section that can block task i.
+    std::vector<Time> per_task(ts.tasks.size(), 0);
+    bool any_pip = false;
+    for (const CriticalSection& cs : rm.sections) {
+      if (cs.task >= ts.tasks.size() || cs.resource >= rm.resources.size())
+        continue;
+      if (ts.tasks[cs.task].priority >= prio) continue;  // not a blocker
+      if (!section_blocks(rm, ts, ceilings, cs.resource, prio, cs.task))
+        continue;
+      if (rm.resources[cs.resource].protocol ==
+          LockProtocol::PriorityInheritance)
+        any_pip = true;
+      per_task[cs.task] = std::max(per_task[cs.task], cs.duration);
+    }
+    if (any_pip) {
+      // PIP: blocked at most once per lower-priority task.
+      for (const Time b : per_task) terms[i] += b;
+    } else {
+      // Pure PCP: blocked at most once overall.
+      for (const Time b : per_task) terms[i] = std::max(terms[i], b);
+    }
+  }
+  return terms;
+}
+
+}  // namespace aadlsched::sched

@@ -1,0 +1,72 @@
+// Blocking-time analysis for shared logical resources under fixed-priority
+// scheduling (ROADMAP item 2, closed-form half). Tasks lock resources for
+// bounded critical sections; the concurrency-control protocol determines the
+// worst-case time a task can be blocked by lower-priority lock holders:
+//
+//   * PriorityCeiling (PCP/ICPP): a task is blocked at most once, by the
+//     single longest critical section of a lower-priority task on a resource
+//     whose priority ceiling is at or above the task's priority.
+//   * PriorityInheritance (PIP): a task can be blocked once per
+//     lower-priority task; each contributes its longest critical section on
+//     a resource also used by the task itself or by higher-priority tasks
+//     (non-nested sections assumed — the AADL model carries one duration
+//     per access, so nesting cannot be expressed).
+//   * None: a shared resource without a protocol permits unbounded priority
+//     inversion (a preempted lock holder can be starved by middle-priority
+//     tasks indefinitely); no finite B_i exists.
+//
+// The returned terms feed sched::response_time_analysis' blocking hook.
+// Over-approximation is sound for the lint vouching discipline: a larger
+// B_i only makes the response-time test harder to pass.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sched/task.hpp"
+
+namespace aadlsched::sched {
+
+enum class LockProtocol : std::uint8_t {
+  None,
+  PriorityInheritance,
+  PriorityCeiling,
+};
+
+std::string_view to_string(LockProtocol p);
+
+struct SharedResource {
+  std::string name;
+  LockProtocol protocol = LockProtocol::None;
+};
+
+/// One bounded critical section: `task` (index into TaskSet::tasks) holds
+/// `resource` (index into ResourceModel::resources) for at most `duration`.
+struct CriticalSection {
+  std::size_t task = 0;
+  std::size_t resource = 0;
+  Time duration = 0;
+};
+
+struct ResourceModel {
+  std::vector<SharedResource> resources;
+  std::vector<CriticalSection> sections;
+
+  /// Distinct tasks with a section on resource r.
+  std::size_t user_count(std::size_t r) const;
+};
+
+/// Static priority ceiling per resource: the maximum priority among tasks
+/// with a critical section on it (-1 for an unused resource).
+std::vector<int> priority_ceilings(const TaskSet& ts,
+                                   const ResourceModel& rm);
+
+/// Worst-case per-task blocking terms B_i (index-aligned with ts.tasks).
+/// Returns nullopt when some B_i is unbounded: a resource with protocol
+/// None is shared by two or more tasks (unbounded priority inversion).
+std::optional<std::vector<Time>> blocking_terms(const TaskSet& ts,
+                                                const ResourceModel& rm);
+
+}  // namespace aadlsched::sched

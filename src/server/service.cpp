@@ -7,6 +7,7 @@
 #include "aadl/fingerprint.hpp"
 #include "aadl/parser.hpp"
 #include "core/result_json.hpp"
+#include "lint/lint.hpp"
 #include "util/hash.hpp"
 
 namespace aadlsched::server {
@@ -27,11 +28,16 @@ std::string options_key(const RequestOptions& ro) {
   // result JSON, but checkpoint blobs stored under the same key carry
   // representation-dependent visited sets, so the settings must partition
   // the key space.
-  std::uint64_t h = util::fnv1a("options-v2");
+  // v3: the lint pass catalogue version joined the key. A new or changed
+  // pass can turn an explored model into a statically decided one (and
+  // attach a static_certificate), so cached results from an older
+  // catalogue must not be served.
+  std::uint64_t h = util::fnv1a("options-v3");
   h = util::hash_combine(h, static_cast<std::uint64_t>(ro.quantum_ns));
   h = util::hash_combine(h, ro.late_completion ? 1u : 0u);
   h = util::hash_combine(h, ro.run_lint ? 1u : 0u);
   h = util::hash_combine(h, ro.no_reduction ? 1u : 0u);
+  h = util::hash_combine(h, static_cast<std::uint64_t>(lint::kLintPassVersion));
   char buf[17];
   std::snprintf(buf, sizeof buf, "%016llx",
                 static_cast<unsigned long long>(h));

@@ -1,0 +1,123 @@
+// Unit tests for the closed-form blocking analysis (sched/blocking.hpp):
+// priority ceilings, the PCP blocked-at-most-once bound, the PIP
+// once-per-lower-task bound, and the unbounded-inversion guard for shared
+// resources without a protocol.
+#include <gtest/gtest.h>
+
+#include "sched/blocking.hpp"
+
+using namespace aadlsched;
+
+namespace {
+
+sched::Task task(int priority, sched::Time wcet = 1, sched::Time period = 100) {
+  sched::Task t;
+  t.priority = priority;
+  t.wcet = wcet;
+  t.period = period;
+  t.deadline = period;
+  return t;
+}
+
+}  // namespace
+
+TEST(Blocking, PriorityCeilingsAreMaxUserPriority) {
+  sched::TaskSet ts;
+  ts.tasks = {task(3), task(2), task(1)};
+  sched::ResourceModel rm;
+  rm.resources = {{"r0", sched::LockProtocol::PriorityCeiling},
+                  {"r1", sched::LockProtocol::PriorityCeiling},
+                  {"unused", sched::LockProtocol::PriorityCeiling}};
+  rm.sections = {{0, 0, 2}, {2, 0, 2}, {1, 1, 4}, {2, 1, 4}};
+  const std::vector<int> c = sched::priority_ceilings(ts, rm);
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_EQ(c[0], 3);
+  EXPECT_EQ(c[1], 2);
+  EXPECT_EQ(c[2], -1);  // no user
+}
+
+TEST(Blocking, PcpBlocksAtMostOnceByCeilingReachingSections) {
+  // r0 (ceiling 3) shared by tasks 0 and 2; r1 (ceiling 2) shared by
+  // tasks 1 and 2. Task 0 can only be blocked through r0 (ceiling >= 3);
+  // task 1 can be blocked through either, but at most once (the longest).
+  sched::TaskSet ts;
+  ts.tasks = {task(3), task(2), task(1)};
+  sched::ResourceModel rm;
+  rm.resources = {{"r0", sched::LockProtocol::PriorityCeiling},
+                  {"r1", sched::LockProtocol::PriorityCeiling}};
+  rm.sections = {{0, 0, 1}, {2, 0, 2}, {1, 1, 1}, {2, 1, 4}};
+  const auto b = sched::blocking_terms(ts, rm);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ((*b)[0], 2);  // task 2's section on r0; r1's ceiling is too low
+  EXPECT_EQ((*b)[1], 4);  // max over task 2's sections, not their sum
+  EXPECT_EQ((*b)[2], 0);  // nothing runs below the lowest priority
+}
+
+TEST(Blocking, PipSumsOncePerLowerPriorityTask) {
+  // Two PIP resources, each shared between the high-priority task 0 and
+  // one distinct lower-priority holder: both holders can block task 0 in
+  // the same activation, so the bounds add up.
+  sched::TaskSet ts;
+  ts.tasks = {task(3), task(2), task(1)};
+  sched::ResourceModel rm;
+  rm.resources = {{"r0", sched::LockProtocol::PriorityInheritance},
+                  {"r1", sched::LockProtocol::PriorityInheritance}};
+  rm.sections = {{0, 0, 1}, {1, 0, 3}, {0, 1, 1}, {2, 1, 5}};
+  const auto b = sched::blocking_terms(ts, rm);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ((*b)[0], 3 + 5);
+  // Task 1 shares nothing; it is only blocked by task 2's section on r1,
+  // whose other user (task 0) outranks it — push-through blocking.
+  EXPECT_EQ((*b)[1], 5);
+  EXPECT_EQ((*b)[2], 0);
+}
+
+TEST(Blocking, PipIgnoresResourcesOnlyLowerTasksUse) {
+  // r0 is used exclusively below task 0's priority: inheritance never
+  // raises a holder above task 0, so no blocking reaches it.
+  sched::TaskSet ts;
+  ts.tasks = {task(3), task(2), task(1)};
+  sched::ResourceModel rm;
+  rm.resources = {{"r0", sched::LockProtocol::PriorityInheritance}};
+  rm.sections = {{1, 0, 3}, {2, 0, 5}};
+  const auto b = sched::blocking_terms(ts, rm);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ((*b)[0], 0);
+  EXPECT_EQ((*b)[1], 5);  // task 2 holds while task 1 (a user) waits
+  EXPECT_EQ((*b)[2], 0);
+}
+
+TEST(Blocking, SharedResourceWithoutProtocolIsUnbounded) {
+  sched::TaskSet ts;
+  ts.tasks = {task(2), task(1)};
+  sched::ResourceModel rm;
+  rm.resources = {{"r0", sched::LockProtocol::None}};
+  rm.sections = {{0, 0, 1}, {1, 0, 1}};
+  EXPECT_FALSE(sched::blocking_terms(ts, rm).has_value());
+}
+
+TEST(Blocking, ExclusiveResourceWithoutProtocolIsHarmless) {
+  sched::TaskSet ts;
+  ts.tasks = {task(2), task(1)};
+  sched::ResourceModel rm;
+  rm.resources = {{"r0", sched::LockProtocol::None}};
+  rm.sections = {{1, 0, 7}};  // single user: never contended
+  const auto b = sched::blocking_terms(ts, rm);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ((*b)[0], 0);
+  EXPECT_EQ((*b)[1], 0);
+}
+
+TEST(Blocking, MixedProtocolsSumWhenAnyPipContributes) {
+  // Task 0 can be blocked by task 1 through a PCP resource and by task 2
+  // through a PIP resource; with PIP in play the per-holder bounds add.
+  sched::TaskSet ts;
+  ts.tasks = {task(3), task(2), task(1)};
+  sched::ResourceModel rm;
+  rm.resources = {{"pcp", sched::LockProtocol::PriorityCeiling},
+                  {"pip", sched::LockProtocol::PriorityInheritance}};
+  rm.sections = {{0, 0, 1}, {1, 0, 2}, {0, 1, 1}, {2, 1, 4}};
+  const auto b = sched::blocking_terms(ts, rm);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ((*b)[0], 2 + 4);
+}

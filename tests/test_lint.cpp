@@ -1,11 +1,15 @@
-// aadllint: one positive and one negative fixture per pass (AL001..AL012),
+// aadllint: one positive and one negative fixture per pass (AL001..AL016),
 // framework/registry behavior, and the Analyzer integration contract —
 // a conclusive screening verdict provably skips exploration (0 states) and
-// always agrees with the verdict exploration would have produced.
+// always agrees with the verdict exploration would have produced. Every
+// certificate any fixture emits is replayed by the independent witness
+// checker (tests/witness_checker.hpp).
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <fstream>
 #include <set>
+#include <sstream>
 #include <string>
 
 #include "acsr/builder.hpp"
@@ -13,11 +17,13 @@
 #include "acsr/semantics.hpp"
 #include "aadl/parser.hpp"
 #include "core/analyzer.hpp"
+#include "core/result_json.hpp"
 #include "core/taskset_aadl.hpp"
 #include "lint/lint.hpp"
 #include "sched/workload.hpp"
 #include "translate/translator.hpp"
 #include "versa/explorer.hpp"
+#include "witness_checker.hpp"
 
 using namespace aadlsched;
 
@@ -31,7 +37,9 @@ lint::Options ms_options() {
 
 /// Parse + instantiate + lint. Front-end diagnostics are tolerated (some
 /// fixtures are deliberately broken); parse/instantiate must still yield an
-/// instance tree.
+/// instance tree. Every certificate the report carries must survive the
+/// independent witness checker — validated here so all fixtures, positive
+/// and negative, exercise it.
 lint::Report lint_source(const std::string& src,
                          const lint::Options& opts = ms_options(),
                          const std::string& root = "S.impl") {
@@ -41,7 +49,16 @@ lint::Report lint_source(const std::string& src,
   auto inst = aadl::instantiate(model, root, diags);
   EXPECT_NE(inst, nullptr) << diags.render_all();
   if (!inst) return {};
-  return lint::run(*inst, opts);
+  lint::Report report = lint::run(*inst, opts);
+  EXPECT_EQ(witness::check_all(report), "") << report.render_json();
+  return report;
+}
+
+const lint::StaticCertificate* first_certificate(const lint::Report& r,
+                                                 std::string_view check_id) {
+  for (const lint::StaticCertificate& c : r.certificates)
+    if (c.check_id == check_id) return &c;
+  return nullptr;
 }
 
 std::size_t count_check(const lint::Report& r, std::string_view id) {
@@ -203,7 +220,9 @@ std::string two_thread_model(const std::string& a_features,
                                  "    Period => 10 ms;\n"
                                  "    Compute_Execution_Time => 1 ms .. 1 "
                                  "ms;\n    Deadline => 10 ms;\n",
-                             const std::string& extra_properties = {}) {
+                             const std::string& extra_properties = {},
+                             const std::string& protocol =
+                                 "RATE_MONOTONIC_PROTOCOL") {
   const std::string connections_section =
       connections.empty() ? std::string()
                           : "  connections\n" + connections + "\n";
@@ -212,7 +231,7 @@ package P
 public
   processor Cpu
   properties
-    Scheduling_Protocol => RATE_MONOTONIC_PROTOCOL;
+    Scheduling_Protocol => )" + protocol + R"(;
   end Cpu;
 
   thread A
@@ -258,17 +277,33 @@ end P;
 
 TEST(LintRegistry, BuiltinHasAllPassesWithUniqueStableIds) {
   const lint::Registry& reg = lint::Registry::builtin();
-  EXPECT_GE(reg.passes().size(), 12u);
+  EXPECT_GE(reg.passes().size(), 16u);
   std::set<std::string_view> ids, names;
   for (const auto& p : reg.passes()) {
     EXPECT_TRUE(ids.insert(p->info().id).second)
         << "duplicate check id " << p->info().id;
     EXPECT_TRUE(names.insert(p->info().name).second);
+    EXPECT_FALSE(p->info().contract.empty());
   }
   for (const char* id : {"AL001", "AL002", "AL003", "AL004", "AL005",
                          "AL006", "AL007", "AL008", "AL009", "AL010",
-                         "AL011", "AL012"})
+                         "AL011", "AL012", "AL013", "AL014", "AL015",
+                         "AL016"})
     EXPECT_TRUE(ids.count(id)) << "missing check " << id;
+}
+
+TEST(LintRegistry, ConclusivePassesDocumentTheirContract) {
+  const lint::Registry& reg = lint::Registry::builtin();
+  // The passes able to decide a verdict must state their soundness
+  // argument (surfaced by `aadlsched --explain AL0NN`).
+  for (const char* id : {"AL005", "AL007", "AL008", "AL009", "AL013",
+                         "AL014", "AL015"}) {
+    const lint::Pass* p = reg.find(id);
+    ASSERT_NE(p, nullptr) << id;
+    EXPECT_FALSE(p->info().rationale.empty()) << id;
+    EXPECT_NE(p->info().contract, "advisory") << id;
+  }
+  EXPECT_EQ(reg.find("AL016")->info().contract, "advisory");
 }
 
 TEST(LintRegistry, FindsByIdAndByName) {
@@ -291,9 +326,12 @@ TEST(LintFramework, CleanModelHasNoFindingsAboveNote) {
 
 TEST(LintFramework, DisabledChecksDoNotRun) {
   lint::Options opts = ms_options();
-  opts.disabled = {"AL007"};
+  // The exact passes can also refute this model, so silence every check
+  // capable of deciding it to observe that disabling really skips them.
+  opts.disabled = {"AL007", "AL013", "AL014"};
   const lint::Report r = lint_source(kOverloadModel, opts);
   EXPECT_EQ(count_check(r, "AL007"), 0u);
+  EXPECT_EQ(count_check(r, "AL013"), 0u);
   EXPECT_EQ(r.verdict, lint::StaticVerdict::None);
 }
 
@@ -314,6 +352,27 @@ TEST(LintFramework, RenderJsonCarriesVerdictAndFindings) {
   EXPECT_NE(json.find("\"decided_by\": \"AL007\""), std::string::npos);
   EXPECT_NE(json.find("\"check\": \"AL007\""), std::string::npos);
   EXPECT_NE(json.find("\"translated\": true"), std::string::npos);
+}
+
+TEST(LintFramework, RenderJsonPinsSchemaAndCatalogueVersions) {
+  // The JSON shape is versioned for downstream tooling: schema_version
+  // pins the field layout (bump on rename/removal only), lint_pass_version
+  // identifies the pass catalogue (also folded into the daemon cache key).
+  const std::string json = lint_source(base_model()).render_json();
+  EXPECT_EQ(json.find("{\n  \"schema_version\": 1,\n"
+                      "  \"lint_pass_version\": 2,"),
+            0u)
+      << json;
+  EXPECT_EQ(lint::kLintSchemaVersion, 1);
+  EXPECT_EQ(lint::kLintPassVersion, 2);
+}
+
+TEST(LintFramework, RenderJsonCarriesCertificates) {
+  const std::string json = lint_source(kOverloadModel).render_json();
+  EXPECT_NE(json.find("\"certificates\": ["), std::string::npos) << json;
+  EXPECT_NE(json.find("\"kind\": \"utilization-overload\""),
+            std::string::npos)
+      << json;
 }
 
 // --- AL001 unbound-thread ---------------------------------------------------
@@ -590,7 +649,9 @@ TEST(LintScreen, Al007AcceptsFeasibleLoad) {
 TEST(LintScreen, Al008VouchesForLowUtilizationRmProcessor) {
   const lint::Report r = lint_source(base_model());
   ASSERT_NE(first_check(r, "AL008"), nullptr) << r.render_text();
-  ASSERT_EQ(r.processor_verdicts.size(), 1u);
+  // AL013's exact RTA vouches for the same processor; the first verdict
+  // per processor (registration order) decides.
+  ASSERT_GE(r.processor_verdicts.size(), 1u);
   EXPECT_EQ(r.processor_verdicts[0].check_id, "AL008");
   EXPECT_TRUE(r.processor_verdicts[0].schedulable);
   EXPECT_EQ(r.verdict, lint::StaticVerdict::Schedulable);
@@ -599,7 +660,8 @@ TEST(LintScreen, Al008VouchesForLowUtilizationRmProcessor) {
 
 TEST(LintScreen, Al008AbstainsWhenHyperbolicBoundFails) {
   // U = 4/9 + 4/10 = 0.844 but (13/9)(14/10) = 2.022 > 2: the sufficient
-  // bound does not apply, so no verdict is offered (exploration decides).
+  // bound does not apply and AL008 stays silent. The exact RTA (AL013)
+  // picks the model up instead — this is precisely the gap it closes.
   const std::string src = two_thread_model(
       "    a_out : out data port;", "    b_in : in data port;", "",
       "    Dispatch_Protocol => Periodic;\n    Period => 9 ms;\n"
@@ -608,7 +670,8 @@ TEST(LintScreen, Al008AbstainsWhenHyperbolicBoundFails) {
       "    Compute_Execution_Time => 4 ms .. 4 ms;\n    Deadline => 10 ms;\n");
   const lint::Report r = lint_source(src);
   EXPECT_EQ(count_check(r, "AL008"), 0u) << r.render_text();
-  EXPECT_EQ(r.verdict, lint::StaticVerdict::None);
+  EXPECT_EQ(r.verdict, lint::StaticVerdict::Schedulable);
+  EXPECT_EQ(r.decided_by, "AL013");
 }
 
 TEST(LintScreen, Al008AbstainsOnImpureModel) {
@@ -636,7 +699,8 @@ TEST(LintScreen, Al009VouchesForEdfAtExactlyFullUtilization) {
 }
 
 TEST(LintScreen, Al009AbstainsOnConstrainedDeadlines) {
-  // Deadline < period: U <= 1 is no longer sufficient, so no vouch.
+  // Deadline < period: U <= 1 is no longer sufficient, so AL009 stays
+  // silent. QPA (AL014) covers the constrained fragment exactly.
   const std::string src = two_thread_model(
       "    a_out : out data port;", "    b_in : in data port;", "",
       "    Dispatch_Protocol => Periodic;\n    Period => 10 ms;\n"
@@ -646,7 +710,451 @@ TEST(LintScreen, Al009AbstainsOnConstrainedDeadlines) {
       "    Scheduling_Protocol => EDF_PROTOCOL applies to cpu;\n");
   const lint::Report r = lint_source(src);
   EXPECT_EQ(count_check(r, "AL009"), 0u) << r.render_text();
-  EXPECT_EQ(r.verdict, lint::StaticVerdict::None);
+  EXPECT_EQ(r.verdict, lint::StaticVerdict::Schedulable);
+  EXPECT_EQ(r.decided_by, "AL014");
+}
+
+// --- AL013 exact-rta ---------------------------------------------------------
+
+namespace {
+
+/// Constrained-deadline RM model the exact RTA refutes: 'b' needs
+/// 3 + ceil(t/4)*2 quanta of level demand inside its 4-quantum deadline
+/// window, which never fits (U = 0.83, so AL007 cannot see it).
+constexpr const char* kRtaMissModel = R"(
+package P
+public
+  processor Cpu
+  properties
+    Scheduling_Protocol => RATE_MONOTONIC_PROTOCOL;
+  end Cpu;
+  thread A
+  end A;
+  thread implementation A.impl
+  properties
+    Dispatch_Protocol => Periodic;
+    Period => 4 ms;
+    Compute_Execution_Time => 2 ms .. 2 ms;
+    Deadline => 4 ms;
+  end A.impl;
+  thread B
+  end B;
+  thread implementation B.impl
+  properties
+    Dispatch_Protocol => Periodic;
+    Period => 9 ms;
+    Compute_Execution_Time => 3 ms .. 3 ms;
+    Deadline => 4 ms;
+  end B.impl;
+  system S
+  end S;
+  system implementation S.impl
+  subcomponents
+    a : thread A.impl;
+    b : thread B.impl;
+    cpu : processor Cpu;
+  properties
+    Actual_Processor_Binding => reference (cpu) applies to a;
+    Actual_Processor_Binding => reference (cpu) applies to b;
+  end S.impl;
+end P;
+)";
+
+}  // namespace
+
+TEST(LintExact, Al013VouchesWithResponseBoundCertificate) {
+  // The AL008-gap model: hyperbolic bound fails at U = 0.844 but the exact
+  // RTA proves schedulability outright.
+  const std::string src = two_thread_model(
+      "    a_out : out data port;", "    b_in : in data port;", "",
+      "    Dispatch_Protocol => Periodic;\n    Period => 9 ms;\n"
+      "    Compute_Execution_Time => 4 ms .. 4 ms;\n    Deadline => 9 ms;\n",
+      "    Dispatch_Protocol => Periodic;\n    Period => 10 ms;\n"
+      "    Compute_Execution_Time => 4 ms .. 4 ms;\n    Deadline => 10 ms;\n");
+  const lint::Report r = lint_source(src);
+  EXPECT_EQ(r.verdict, lint::StaticVerdict::Schedulable);
+  EXPECT_EQ(r.decided_by, "AL013");
+  const lint::StaticCertificate* cert = first_certificate(r, "AL013");
+  ASSERT_NE(cert, nullptr) << r.render_json();
+  EXPECT_EQ(cert->kind, "fp-response-bound");
+  ASSERT_EQ(cert->tasks.size(), 2u);
+  for (const lint::CertTask& row : cert->tasks) {
+    EXPECT_GE(row.response_q, row.wcet_q);
+    EXPECT_LE(row.response_q, row.deadline_q);
+  }
+}
+
+TEST(LintExact, Al013RefutesWithOverloadWitness) {
+  const lint::Report r = lint_source(kRtaMissModel);
+  EXPECT_EQ(r.verdict, lint::StaticVerdict::NotSchedulable);
+  EXPECT_EQ(r.decided_by, "AL013");
+  const lint::StaticCertificate* cert = first_certificate(r, "AL013");
+  ASSERT_NE(cert, nullptr) << r.render_json();
+  EXPECT_EQ(cert->kind, "fp-overload-witness");
+  EXPECT_FALSE(cert->schedulable);
+  EXPECT_EQ(cert->window_q, 4);
+  EXPECT_EQ(cert->demand_q, 5);
+  EXPECT_EQ(cert->tasks[0].path, "b");  // witness row first
+}
+
+TEST(LintExact, Al013AbstainsFromRefutingUnderPriorityTies) {
+  // RM/DM ranking always assigns distinct priorities (stable tie-break by
+  // declaration order), so genuine ties only arise under HPF with equal
+  // declared Priority values. There the tie-pessimistic vouch fails
+  // (R = 10 > D = 8) and the refutation leg is unsound — exploration may
+  // resolve the tie either way — so the pass must leave the verdict open.
+  const std::string props =
+      "    Dispatch_Protocol => Periodic;\n    Period => 10 ms;\n"
+      "    Compute_Execution_Time => 5 ms .. 5 ms;\n    Deadline => 8 ms;\n"
+      "    Priority => 5;\n";
+  const std::string src =
+      two_thread_model("", "", "", props, props, {}, "HIGHEST_PRIORITY_FIRST");
+  const lint::Report r = lint_source(src);
+  EXPECT_EQ(r.verdict, lint::StaticVerdict::None) << r.render_text();
+  EXPECT_TRUE(r.certificates.empty());
+}
+
+TEST(LintExact, Al013AgreementWithExplorationBothWays) {
+  core::AnalyzerOptions with_lint, without_lint;
+  with_lint.translation.quantum_ns = 1'000'000;
+  with_lint.run_lint = true;
+  without_lint.translation.quantum_ns = 1'000'000;
+  without_lint.run_lint = false;
+
+  // Refuted model: exploration finds the same miss.
+  const core::AnalysisResult fast =
+      core::analyze_source(kRtaMissModel, "S.impl", with_lint);
+  EXPECT_TRUE(fast.ok) << fast.diagnostics;
+  EXPECT_EQ(fast.states, 0u);
+  EXPECT_EQ(fast.decided_by, "AL013");
+  EXPECT_FALSE(fast.schedulable);
+  const core::AnalysisResult full =
+      core::analyze_source(kRtaMissModel, "S.impl", without_lint);
+  EXPECT_TRUE(full.ok) << full.diagnostics;
+  EXPECT_GT(full.states, 0u);
+  EXPECT_EQ(full.schedulable, fast.schedulable);
+}
+
+// --- AL014 edf-qpa -----------------------------------------------------------
+
+namespace {
+
+/// EDF with constrained deadlines and a certain overflow: dbf(4) = 5 > 4
+/// (both jobs due by t=4 need 5 quanta), while U = 0.5 keeps AL007 silent.
+constexpr const char* kEdfOverflowModel = R"(
+package P
+public
+  processor Cpu
+  properties
+    Scheduling_Protocol => EDF_PROTOCOL;
+  end Cpu;
+  thread A
+  end A;
+  thread implementation A.impl
+  properties
+    Dispatch_Protocol => Periodic;
+    Period => 10 ms;
+    Compute_Execution_Time => 3 ms .. 3 ms;
+    Deadline => 3 ms;
+  end A.impl;
+  thread B
+  end B;
+  thread implementation B.impl
+  properties
+    Dispatch_Protocol => Periodic;
+    Period => 10 ms;
+    Compute_Execution_Time => 2 ms .. 2 ms;
+    Deadline => 4 ms;
+  end B.impl;
+  system S
+  end S;
+  system implementation S.impl
+  subcomponents
+    a : thread A.impl;
+    b : thread B.impl;
+    cpu : processor Cpu;
+  properties
+    Actual_Processor_Binding => reference (cpu) applies to a;
+    Actual_Processor_Binding => reference (cpu) applies to b;
+  end S.impl;
+end P;
+)";
+
+}  // namespace
+
+TEST(LintExact, Al014VouchesConstrainedEdfWithDemandCertificate) {
+  // The Al009-abstain model (deadline < period, U = 0.4): QPA decides it.
+  const std::string src = two_thread_model(
+      "    a_out : out data port;", "    b_in : in data port;", "",
+      "    Dispatch_Protocol => Periodic;\n    Period => 10 ms;\n"
+      "    Compute_Execution_Time => 2 ms .. 2 ms;\n    Deadline => 8 ms;\n",
+      "    Dispatch_Protocol => Periodic;\n    Period => 10 ms;\n"
+      "    Compute_Execution_Time => 2 ms .. 2 ms;\n    Deadline => 10 ms;\n",
+      "    Scheduling_Protocol => EDF_PROTOCOL applies to cpu;\n");
+  const lint::Report r = lint_source(src);
+  EXPECT_EQ(r.verdict, lint::StaticVerdict::Schedulable);
+  EXPECT_EQ(r.decided_by, "AL014");
+  const lint::StaticCertificate* cert = first_certificate(r, "AL014");
+  ASSERT_NE(cert, nullptr) << r.render_json();
+  EXPECT_EQ(cert->kind, "edf-demand");
+  EXPECT_GT(cert->window_q, 0);
+}
+
+TEST(LintExact, Al014RefutesWithOverflowWitness) {
+  const lint::Report r = lint_source(kEdfOverflowModel);
+  EXPECT_EQ(r.verdict, lint::StaticVerdict::NotSchedulable);
+  EXPECT_EQ(r.decided_by, "AL014");
+  const lint::StaticCertificate* cert = first_certificate(r, "AL014");
+  ASSERT_NE(cert, nullptr) << r.render_json();
+  EXPECT_EQ(cert->kind, "edf-overflow-witness");
+  EXPECT_EQ(cert->window_q, 4);
+  EXPECT_EQ(cert->demand_q, 5);
+}
+
+TEST(LintExact, Al014AgreementWithExplorationOnRefutedModel) {
+  core::AnalyzerOptions opts;
+  opts.translation.quantum_ns = 1'000'000;
+  opts.run_lint = false;
+  const core::AnalysisResult full =
+      core::analyze_source(kEdfOverflowModel, "S.impl", opts);
+  EXPECT_TRUE(full.ok) << full.diagnostics;
+  EXPECT_GT(full.states, 0u);
+  EXPECT_FALSE(full.schedulable);  // exploration confirms the overflow
+}
+
+// --- AL015 blocking-rta / AL016 shared-access-hazard -------------------------
+
+namespace {
+
+/// Two fixed-priority tasks sharing one PCP resource with bounded critical
+/// sections, rendered through the same bridge the experiments use.
+std::string shared_pcp_source() {
+  sched::TaskSet ts;
+  sched::Task hi;
+  hi.name = "hi";
+  hi.wcet = 1;
+  hi.period = 5;
+  hi.deadline = 5;
+  hi.priority = 10;
+  sched::Task lo;
+  lo.name = "lo";
+  lo.wcet = 2;
+  lo.period = 10;
+  lo.deadline = 10;
+  lo.priority = 5;
+  ts.tasks = {hi, lo};
+  sched::ResourceModel rm;
+  rm.resources = {{"shared", sched::LockProtocol::PriorityCeiling}};
+  rm.sections = {{0, 0, 1}, {1, 0, 1}};
+  return core::taskset_to_aadl_shared(
+      ts, sched::SchedulingPolicy::FixedPriority, rm);
+}
+
+}  // namespace
+
+TEST(LintExact, Al015VouchesWithBlockingAwareCertificate) {
+  const lint::Report r =
+      lint_source(shared_pcp_source(), ms_options(), "Root.impl");
+  EXPECT_EQ(r.verdict, lint::StaticVerdict::Schedulable) << r.render_text();
+  bool al015_vouched = false;
+  for (const auto& pv : r.processor_verdicts)
+    al015_vouched |= pv.check_id == "AL015" && pv.schedulable;
+  EXPECT_TRUE(al015_vouched) << r.render_json();
+  const lint::StaticCertificate* cert = first_certificate(r, "AL015");
+  ASSERT_NE(cert, nullptr) << r.render_json();
+  EXPECT_EQ(cert->kind, "fp-response-bound");
+  // The high-priority task carries the blocking term (one lower-priority
+  // section on a ceiling-reaching resource).
+  bool blocked = false;
+  for (const lint::CertTask& row : cert->tasks)
+    blocked |= row.blocking_q > 0;
+  EXPECT_TRUE(blocked) << r.render_json();
+  EXPECT_EQ(count_check(r, "AL016"), 0u) << r.render_text();
+}
+
+TEST(LintExact, Al015AgreementWithExplorationOnSharedModel) {
+  // Exploration walks the lock-free model; the blocking-aware vouch is a
+  // strictly stronger claim, so the verdicts must coincide.
+  core::AnalyzerOptions opts;
+  opts.translation.quantum_ns = 1'000'000;
+  opts.run_lint = false;
+  const core::AnalysisResult full =
+      core::analyze_source(shared_pcp_source(), "Root.impl", opts);
+  EXPECT_TRUE(full.ok) << full.diagnostics;
+  EXPECT_GT(full.states, 0u);
+  EXPECT_TRUE(full.schedulable);
+}
+
+TEST(LintExact, Al016FlagsUnprotectedAndCrossProcessorSharing) {
+  const std::string src = R"(
+package P
+public
+  processor Cpu
+  properties
+    Scheduling_Protocol => RATE_MONOTONIC_PROTOCOL;
+  end Cpu;
+  data Shared
+  end Shared;
+  thread A
+  features
+    r : requires data access Shared;
+  end A;
+  thread implementation A.impl
+  properties
+    Dispatch_Protocol => Periodic;
+    Period => 10 ms;
+    Compute_Execution_Time => 1 ms .. 1 ms;
+    Deadline => 10 ms;
+  end A.impl;
+  thread B
+  features
+    r : requires data access Shared;
+  end B;
+  thread implementation B.impl
+  properties
+    Dispatch_Protocol => Periodic;
+    Period => 10 ms;
+    Compute_Execution_Time => 1 ms .. 1 ms;
+    Deadline => 10 ms;
+  end B.impl;
+  system S
+  end S;
+  system implementation S.impl
+  subcomponents
+    a : thread A.impl;
+    b : thread B.impl;
+    d : data Shared;
+    cpu : processor Cpu;
+    cpu2 : processor Cpu;
+  connections
+    ca : data access a.r -> d;
+    cb : data access b.r -> d;
+  properties
+    Actual_Processor_Binding => reference (cpu) applies to a;
+    Actual_Processor_Binding => reference (cpu2) applies to b;
+  end S.impl;
+end P;
+)";
+  const lint::Report r = lint_source(src);
+  ASSERT_GE(count_check(r, "AL016"), 2u) << r.render_text();
+  bool unprotected = false, cross = false;
+  for (const lint::Finding& f : r.findings) {
+    if (f.check_id != "AL016") continue;
+    EXPECT_EQ(f.severity, util::Severity::Warning);
+    unprotected |=
+        f.message.find("without a concurrency-control protocol") !=
+        std::string::npos;
+    cross |= f.message.find("shared across") != std::string::npos;
+  }
+  EXPECT_TRUE(unprotected);
+  EXPECT_TRUE(cross);
+}
+
+TEST(LintExact, Al016FlagsMissingSectionBoundButWarningsDoNotBlockVerdict) {
+  // PCP resource with no Critical_Section_Time: AL015 abstains and AL016
+  // warns, but warnings deliberately do not block the per-processor vouch
+  // promotion (only errors do) — the verdict machinery ignores locking.
+  const std::string src = R"(
+package P
+public
+  processor Cpu
+  properties
+    Scheduling_Protocol => RATE_MONOTONIC_PROTOCOL;
+  end Cpu;
+  data Shared
+  properties
+    Concurrency_Control_Protocol => PRIORITY_CEILING_PROTOCOL;
+  end Shared;
+  thread A
+  features
+    r : requires data access Shared;
+  end A;
+  thread implementation A.impl
+  properties
+    Dispatch_Protocol => Periodic;
+    Period => 10 ms;
+    Compute_Execution_Time => 1 ms .. 1 ms;
+    Deadline => 10 ms;
+  end A.impl;
+  thread B
+  features
+    r : requires data access Shared;
+  end B;
+  thread implementation B.impl
+  properties
+    Dispatch_Protocol => Periodic;
+    Period => 5 ms;
+    Compute_Execution_Time => 1 ms .. 1 ms;
+    Deadline => 5 ms;
+  end B.impl;
+  system S
+  end S;
+  system implementation S.impl
+  subcomponents
+    a : thread A.impl;
+    b : thread B.impl;
+    d : data Shared;
+    cpu : processor Cpu;
+  connections
+    ca : data access a.r -> d;
+    cb : data access b.r -> d;
+  properties
+    Actual_Processor_Binding => reference (cpu) applies to a;
+    Actual_Processor_Binding => reference (cpu) applies to b;
+  end S.impl;
+end P;
+)";
+  const lint::Report r = lint_source(src);
+  ASSERT_GE(count_check(r, "AL016"), 2u) << r.render_text();
+  EXPECT_NE(first_check(r, "AL016")->message.find("Critical_Section_Time"),
+            std::string::npos);
+  EXPECT_EQ(first_certificate(r, "AL015"), nullptr);  // abstained
+  EXPECT_GT(r.warnings(), 0u);
+  EXPECT_EQ(r.verdict, lint::StaticVerdict::Schedulable) << r.render_text();
+}
+
+TEST(LintExact, Al016FlagsUnknownProtocol) {
+  const std::string src = R"(
+package P
+public
+  processor Cpu
+  properties
+    Scheduling_Protocol => RATE_MONOTONIC_PROTOCOL;
+  end Cpu;
+  data Shared
+  properties
+    Concurrency_Control_Protocol => SPIN_LOCK;
+  end Shared;
+  thread A
+  features
+    r : requires data access Shared;
+  end A;
+  thread implementation A.impl
+  properties
+    Dispatch_Protocol => Periodic;
+    Period => 10 ms;
+    Compute_Execution_Time => 1 ms .. 1 ms;
+    Deadline => 10 ms;
+  end A.impl;
+  system S
+  end S;
+  system implementation S.impl
+  subcomponents
+    a : thread A.impl;
+    d : data Shared;
+    cpu : processor Cpu;
+  connections
+    ca : data access a.r -> d;
+  properties
+    Actual_Processor_Binding => reference (cpu) applies to a;
+  end S.impl;
+end P;
+)";
+  const lint::Report r = lint_source(src);
+  const lint::Finding* f = first_check(r, "AL016");
+  ASSERT_NE(f, nullptr) << r.render_text();
+  EXPECT_NE(f->message.find("unrecognized Concurrency_Control_Protocol"),
+            std::string::npos);
 }
 
 // --- AL010 unguarded-recursion ----------------------------------------------
@@ -805,6 +1313,59 @@ TEST(LintAnalyzer, ConclusiveScheduableVerdictAgreesWithExploration) {
   EXPECT_EQ(full.schedulable, fast.schedulable);
 }
 
+TEST(LintAnalyzer, StaticVerdictCarriesCertificateInResultJson) {
+  core::AnalyzerOptions opts;
+  opts.translation.quantum_ns = 1'000'000;
+  opts.run_lint = true;
+  const core::AnalysisResult r =
+      core::analyze_source(kOverloadModel, "S.impl", opts);
+  EXPECT_TRUE(r.ok) << r.diagnostics;
+  EXPECT_EQ(r.decided_by, "AL007");
+  ASSERT_TRUE(r.lint_report.has_value());
+  EXPECT_EQ(witness::check_all(*r.lint_report), "");
+  const std::string json = core::render_result_json(r);
+  EXPECT_NE(json.find("\"static_certificate\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"kind\": \"utilization-overload\""),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"check\": \"AL007\""), std::string::npos) << json;
+}
+
+TEST(LintAnalyzer, ExploredResultCarriesNoCertificate) {
+  core::AnalyzerOptions opts;
+  opts.translation.quantum_ns = 1'000'000;
+  opts.run_lint = false;
+  const core::AnalysisResult r =
+      core::analyze_source(kOverloadModel, "S.impl", opts);
+  EXPECT_TRUE(r.ok) << r.diagnostics;
+  EXPECT_EQ(core::render_result_json(r).find("\"static_certificate\""),
+            std::string::npos);
+}
+
+TEST(LintAnalyzer, SymmetricExampleIsNowDecidedStatically) {
+  // The acceptance example: eight identical equal-priority threads were
+  // previously explored (the reduction-layer showcase); tie-pessimistic
+  // exact RTA now decides the model without a single state.
+  std::ifstream in(std::string(AADLSCHED_MODELS_DIR) + "/symmetric.aadl");
+  ASSERT_TRUE(in);
+  std::ostringstream src;
+  src << in.rdbuf();
+  core::AnalyzerOptions opts;
+  opts.translation.quantum_ns = 1'000'000;
+  opts.run_lint = true;
+  const core::AnalysisResult r =
+      core::analyze_source(src.str(), "Symmetric.impl", opts);
+  EXPECT_TRUE(r.ok) << r.diagnostics;
+  EXPECT_TRUE(r.schedulable);
+  EXPECT_EQ(r.states, 0u);  // no exploration
+  EXPECT_EQ(r.decided_by, "AL013");
+  ASSERT_TRUE(r.lint_report.has_value());
+  EXPECT_EQ(witness::check_all(*r.lint_report), "");
+  const std::string json = core::render_result_json(r);
+  EXPECT_NE(json.find("\"kind\": \"fp-response-bound\""), std::string::npos)
+      << json;
+}
+
 TEST(LintAnalyzer, LintGateStopsAnalysisOnHygieneErrors) {
   // Missing mandatory properties trip the fail_on=Error gate before any
   // translation or exploration is attempted.
@@ -821,13 +1382,18 @@ TEST(LintAnalyzer, LintGateStopsAnalysisOnHygieneErrors) {
 
 TEST(LintAnalyzer, WarningsDoNotTripTheDefaultGate) {
   // Direction-mismatch warnings (AL002) are below fail_on=Error: analysis
-  // proceeds to exploration as usual. Constrained deadlines keep the model
-  // outside the screening fragment, so exploration genuinely runs.
+  // proceeds to exploration as usual. Equal declared HPF priorities whose
+  // tie-pessimistic RTA fails keep the model outside the statically
+  // decidable fragment (AL013 cannot refute under ties), so exploration
+  // genuinely runs.
+  const std::string tie_props =
+      "    Dispatch_Protocol => Periodic;\n    Period => 10 ms;\n"
+      "    Compute_Execution_Time => 5 ms .. 5 ms;\n    Deadline => 8 ms;\n"
+      "    Priority => 5;\n";
   const std::string src = two_thread_model(
       "    a_out : out data port;", "    b_in : in data port;",
-      "    c1 : port b.b_in -> a.a_out;",
-      "    Dispatch_Protocol => Periodic;\n    Period => 10 ms;\n"
-      "    Compute_Execution_Time => 1 ms .. 1 ms;\n    Deadline => 8 ms;\n");
+      "    c1 : port b.b_in -> a.a_out;", tie_props, tie_props, {},
+      "HIGHEST_PRIORITY_FIRST");
   core::AnalyzerOptions opts;
   opts.translation.quantum_ns = 1'000'000;
   opts.run_lint = true;
@@ -842,11 +1408,9 @@ TEST(LintAnalyzer, WarningsDoNotTripTheDefaultGate) {
 
 namespace {
 
-/// Full-pipeline exploration verdict for a generated task set (mirrors
+/// Full-pipeline exploration verdict for rendered AADL source (mirrors
 /// tests/test_cross_validation.cpp).
-bool explore_verdict(const sched::TaskSet& ts,
-                     sched::SchedulingPolicy policy) {
-  const std::string src = core::taskset_to_aadl(ts, policy);
+bool explore_source_verdict(const std::string& src) {
   aadl::Model model;
   util::DiagnosticEngine diags;
   EXPECT_TRUE(aadl::parse_aadl(model, src, diags)) << diags.render_all();
@@ -861,6 +1425,11 @@ bool explore_verdict(const sched::TaskSet& ts,
   const auto er = versa::explore(sem, tr->initial);
   EXPECT_TRUE(er.complete || er.deadlock_found);
   return er.schedulable();
+}
+
+bool explore_verdict(const sched::TaskSet& ts,
+                     sched::SchedulingPolicy policy) {
+  return explore_source_verdict(core::taskset_to_aadl(ts, policy));
 }
 
 }  // namespace
@@ -887,6 +1456,60 @@ TEST(LintCrossValidation, EdfScreeningVerdictsMatchExploration) {
         r.verdict == lint::StaticVerdict::Schedulable;
     EXPECT_EQ(lint_schedulable,
               explore_verdict(ts, sched::SchedulingPolicy::Edf))
+        << "seed " << seed << " decided by " << r.decided_by;
+  }
+}
+
+TEST(LintCrossValidation, FixedPriorityScreeningVerdictsMatchExploration) {
+  // Distinct rate-monotonic priorities keep every generated model inside
+  // AL013's conclusive fragment: the exact RTA must always decide, and
+  // must agree with exploration in both directions (E1 matrix diagonal).
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    sched::WorkloadSpec spec;
+    spec.task_count = 3;
+    spec.total_utilization = 0.9;
+    spec.periods = {3, 4, 5, 6, 8};
+    sched::TaskSet ts = sched::generate_workload(spec, seed);
+    sched::assign_rate_monotonic(ts);
+
+    const std::string src =
+        core::taskset_to_aadl(ts, sched::SchedulingPolicy::FixedPriority);
+    const lint::Report r = lint_source(src, ms_options(), "Root.impl");
+    ASSERT_TRUE(r.translated) << "seed " << seed;
+    ASSERT_NE(r.verdict, lint::StaticVerdict::None)
+        << "seed " << seed << "\n" << r.render_text();
+    EXPECT_EQ(r.verdict == lint::StaticVerdict::Schedulable,
+              explore_source_verdict(src))
+        << "seed " << seed << " decided by " << r.decided_by;
+  }
+}
+
+TEST(LintCrossValidation, SharedResourceModelsAgreeWithExploration) {
+  // E1 extension: the same agreement matrix over shared-resource task
+  // sets. Exploration walks the lock-free model; any conclusive lint
+  // verdict (AL013's exact test, or AL015's strictly stronger
+  // blocking-aware vouch) must agree with it.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    sched::WorkloadSpec spec;
+    spec.task_count = 3;
+    spec.total_utilization = 0.8;
+    spec.periods = {3, 4, 5, 6, 8};
+    sched::TaskSet ts = sched::generate_workload(spec, seed);
+    sched::assign_rate_monotonic(ts);
+
+    sched::ResourceModel rm;
+    rm.resources = {
+        {"shared", seed % 2 ? sched::LockProtocol::PriorityCeiling
+                            : sched::LockProtocol::PriorityInheritance}};
+    rm.sections = {{0, 0, 1}, {ts.tasks.size() - 1, 0, 1}};
+
+    const std::string src = core::taskset_to_aadl_shared(
+        ts, sched::SchedulingPolicy::FixedPriority, rm);
+    const lint::Report r = lint_source(src, ms_options(), "Root.impl");
+    ASSERT_TRUE(r.translated) << "seed " << seed << "\n" << r.render_text();
+    if (r.verdict == lint::StaticVerdict::None) continue;
+    EXPECT_EQ(r.verdict == lint::StaticVerdict::Schedulable,
+              explore_source_verdict(src))
         << "seed " << seed << " decided by " << r.decided_by;
   }
 }

@@ -146,17 +146,33 @@ TEST(Edf, RmSchedulableImpliesEdfSchedulable) {
   }
 }
 
-// Property: QPA and full processor-demand analysis always agree.
+// Property: QPA and full processor-demand analysis always agree — on the
+// verdict AND on the first overflow point (the certificate machinery in
+// src/lint renders whichever procedure ran, so a disagreement would make
+// witnesses depend on the traversal direction). Swept across utilizations
+// from comfortable to overloaded, with constrained deadlines throughout.
 class EdfAgreement : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(EdfAgreement, QpaMatchesFullDemandAnalysis) {
-  WorkloadSpec spec;
-  spec.task_count = 4;
-  spec.total_utilization = 0.95;
-  spec.deadline_fraction = 0.6;  // constrained deadlines stress the test
-  const TaskSet ts = generate_workload(spec, GetParam());
-  EXPECT_EQ(edf_qpa(ts).verdict, edf_demand_analysis(ts).verdict)
-      << "seed " << GetParam();
+  for (const double u : {0.6, 0.85, 0.95, 1.1}) {
+    for (const double df : {0.4, 0.6, 1.0}) {
+      WorkloadSpec spec;
+      spec.task_count = 4;
+      spec.total_utilization = u;
+      spec.deadline_fraction = df;  // < 1: deadline < period
+      const TaskSet ts = generate_workload(spec, GetParam());
+      const EdfResult qpa = edf_qpa(ts);
+      const EdfResult full = edf_demand_analysis(ts);
+      EXPECT_EQ(qpa.verdict, full.verdict)
+          << "seed " << GetParam() << " U=" << u << " df=" << df;
+      ASSERT_EQ(qpa.overflow_point.has_value(),
+                full.overflow_point.has_value())
+          << "seed " << GetParam() << " U=" << u << " df=" << df;
+      if (qpa.overflow_point)
+        EXPECT_EQ(*qpa.overflow_point, *full.overflow_point)
+            << "seed " << GetParam() << " U=" << u << " df=" << df;
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EdfAgreement,

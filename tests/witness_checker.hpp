@@ -1,0 +1,196 @@
+// Independent validator for the machine-checkable certificates emitted by
+// the static lint passes (lint::StaticCertificate, DESIGN.md §14). The
+// whole point of a certificate is that its claim can be replayed without
+// trusting the analysis that produced it, so this checker re-derives every
+// bound from the raw task rows with its own (deliberately naive, brute
+// force) arithmetic — it shares the struct definitions with src/lint but
+// none of the fixed-point / QPA code in src/sched.
+//
+// check_certificate returns an empty string when the certificate is valid
+// and a human-readable defect description otherwise, so test assertions
+// read EXPECT_EQ(check_certificate(c), "").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+namespace aadlsched::witness {
+
+using I128 = __int128;
+
+inline I128 ceil_div_i(I128 a, I128 b) { return (a + b - 1) / b; }
+
+/// Tie-pessimistic level-i workload at window t: the task's own WCET and
+/// blocking plus every release of any *other* task with priority >= its
+/// own in [0, t). Matches the interference rule the vouching passes claim.
+inline I128 fp_workload(const std::vector<lint::CertTask>& rows,
+                        std::size_t i, I128 t) {
+  I128 w = rows[i].wcet_q + (rows[i].blocking_q > 0 ? rows[i].blocking_q : 0);
+  for (std::size_t j = 0; j < rows.size(); ++j) {
+    if (j == i || rows[j].priority < rows[i].priority) continue;
+    w += ceil_div_i(t, rows[j].period_q) * rows[j].wcet_q;
+  }
+  return w;
+}
+
+/// EDF demand bound function at absolute time t over the certificate rows.
+inline I128 demand_at(const std::vector<lint::CertTask>& rows, I128 t) {
+  I128 d = 0;
+  for (const lint::CertTask& r : rows)
+    if (t >= r.deadline_q)
+      d += ((t - r.deadline_q) / r.period_q + 1) * r.wcet_q;
+  return d;
+}
+
+/// Exact utilization comparison: sign of (sum C_i/T_i) - 1, computed as
+/// sum(C_i * prod_{j!=i} T_j) vs prod T_j in 128-bit arithmetic. Returns
+/// -1/0/+1, or -2 when the products overflow the safe range.
+inline int utilization_sign(const std::vector<lint::CertTask>& rows) {
+  constexpr I128 kCap = I128{1} << 110;
+  I128 den = 1;
+  for (const lint::CertTask& r : rows) {
+    if (r.period_q <= 0 || den > kCap / r.period_q) return -2;
+    den *= r.period_q;
+  }
+  I128 num = 0;
+  for (const lint::CertTask& r : rows) {
+    const I128 share = (den / r.period_q) * r.wcet_q;
+    if (num > kCap - share) return -2;
+    num += share;
+  }
+  return num < den ? -1 : num == den ? 0 : 1;
+}
+
+inline std::string check_certificate(const lint::StaticCertificate& c) {
+  const std::vector<lint::CertTask>& rows = c.tasks;
+  const auto fail = [&](const std::string& why) {
+    return c.check_id + "/" + c.kind + ": " + why;
+  };
+  if (rows.empty()) return fail("certificate carries no task rows");
+
+  if (c.kind == "wcet-exceeds-deadline") {
+    // Single-task refutation; needs no period (a periodic thread missing
+    // its Period still certifies this way).
+    if (c.schedulable) return fail("must claim not schedulable");
+    if (rows[0].deadline_q <= 0) return fail("missing deadline");
+    if (rows[0].wcet_q <= rows[0].deadline_q)
+      return fail("WCET does not exceed the deadline");
+    return {};
+  }
+
+  for (const lint::CertTask& r : rows) {
+    if (r.wcet_q < 0 || r.period_q <= 0 || r.deadline_q <= 0)
+      return fail("row '" + r.path + "' has non-positive parameters");
+  }
+
+  if (c.kind == "fp-response-bound") {
+    if (!c.schedulable) return fail("must claim schedulable");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const I128 r = rows[i].response_q;
+      if (r < 0) return fail("row '" + rows[i].path + "' lacks a response");
+      if (r > rows[i].deadline_q)
+        return fail("response exceeds deadline for '" + rows[i].path + "'");
+      // A window of length R that absorbs the level-i workload witnesses a
+      // fixed point at or below R, hence a response time <= deadline.
+      if (fp_workload(rows, i, r) > r)
+        return fail("claimed response for '" + rows[i].path +
+                    "' does not absorb the level-i workload");
+    }
+    return {};
+  }
+
+  if (c.kind == "fp-overload-witness") {
+    if (c.schedulable) return fail("must claim not schedulable");
+    if (c.window_q <= 0) return fail("missing deadline window");
+    if (rows[0].deadline_q != c.window_q)
+      return fail("window is not the witness task's deadline");
+    // The witness task (row 0) misses iff the level workload stays strictly
+    // above the supply at EVERY point of its deadline window — checking
+    // only t = window is not sufficient, so brute-force all of it.
+    for (I128 t = 1; t <= c.window_q; ++t)
+      if (fp_workload(rows, 0, t) <= t)
+        return fail("workload fits at t=" +
+                    std::to_string(static_cast<long long>(t)) +
+                    "; no forced miss");
+    if (c.demand_q >= 0 && fp_workload(rows, 0, c.window_q) != c.demand_q)
+      return fail("stated demand does not match the recomputed workload");
+    return {};
+  }
+
+  if (c.kind == "edf-demand") {
+    if (!c.schedulable) return fail("must claim schedulable");
+    if (c.window_q <= 0) return fail("missing check bound");
+    const int u = utilization_sign(rows);
+    if (u == -2) return fail("utilization overflows the checker");
+    if (u > 0) return fail("utilization exceeds 1; bound cannot hold");
+    // Demand can only cross supply at an absolute deadline, so enumerating
+    // them up to the stated bound replays the full feasibility claim.
+    for (const lint::CertTask& r : rows)
+      for (I128 d = r.deadline_q; d <= c.window_q; d += r.period_q)
+        if (demand_at(rows, d) > d)
+          return fail("demand overflow at absolute deadline " +
+                      std::to_string(static_cast<long long>(d)));
+    return {};
+  }
+
+  if (c.kind == "edf-overflow-witness") {
+    if (c.schedulable) return fail("must claim not schedulable");
+    if (c.window_q <= 0) return fail("missing overflow point");
+    const I128 d = demand_at(rows, c.window_q);
+    if (d <= c.window_q) return fail("no demand overflow at the window");
+    if (c.demand_q >= 0 && d != c.demand_q)
+      return fail("stated demand does not match the recomputed dbf");
+    return {};
+  }
+
+  if (c.kind == "utilization-overload") {
+    if (c.schedulable) return fail("must claim not schedulable");
+    const int u = utilization_sign(rows);
+    if (u == -2) return fail("utilization overflows the checker");
+    if (u <= 0) return fail("recomputed utilization is not above 1");
+    return {};
+  }
+
+  if (c.kind == "hyperbolic-bound") {
+    if (!c.schedulable) return fail("must claim schedulable");
+    constexpr I128 kCap = I128{1} << 110;
+    I128 lhs = 1, rhs = 2;
+    for (const lint::CertTask& r : rows) {
+      if (r.deadline_q != r.period_q)
+        return fail("row '" + r.path + "' is not implicit-deadline");
+      const I128 a = r.wcet_q + r.period_q;
+      if (lhs > kCap / a || rhs > kCap / r.period_q)
+        return fail("bound overflows the checker");
+      lhs *= a;
+      rhs *= r.period_q;
+    }
+    if (lhs > rhs) return fail("hyperbolic bound does not hold");
+    return {};
+  }
+
+  if (c.kind == "edf-utilization") {
+    if (!c.schedulable) return fail("must claim schedulable");
+    for (const lint::CertTask& r : rows)
+      if (r.deadline_q != r.period_q)
+        return fail("row '" + r.path + "' is not implicit-deadline");
+    const int u = utilization_sign(rows);
+    if (u == -2) return fail("utilization overflows the checker");
+    if (u > 0) return fail("recomputed utilization exceeds 1");
+    return {};
+  }
+
+  return fail("unknown certificate kind");
+}
+
+/// Validate every certificate a report carries; first defect wins.
+inline std::string check_all(const lint::Report& r) {
+  for (const lint::StaticCertificate& c : r.certificates) {
+    const std::string defect = check_certificate(c);
+    if (!defect.empty()) return defect;
+  }
+  return {};
+}
+
+}  // namespace aadlsched::witness

@@ -37,6 +37,10 @@
 //   --lint                 run the static checks only (aadllint) and exit;
 //                          0 = clean, 1 = error-severity findings
 //   --lint-format <f>      lint report format: text (default) or json
+//   --explain <id>         print the catalogue entry for one lint check
+//                          (id like AL013 or name like exact-rta): tier,
+//                          verdict contract, and the soundness rationale;
+//                          then exit (no model needed)
 //   --no-lint              skip the lint pre-pass before exploration
 //   --json                 print the canonical result object
 //                          (core::render_result_json, DESIGN.md §11)
@@ -101,6 +105,7 @@ int usage() {
       "                 [--deadline-ms n] [--memory-budget-mb n]\n"
       "                 [--no-reduction]\n"
       "                 [--lint] [--lint-format text|json] [--no-lint]\n"
+      "                 [--explain AL0NN]\n"
       "                 [--json] [--checkpoint-file f] [--resume]\n"
       "                 [--no-checkpoint]\n"
       "       aadlsched --batch <list> [--batch-workers n] [--keep-going]\n"
@@ -445,6 +450,7 @@ int main(int argc, char** argv) {
   std::string checkpoint_file;
   bool resume = false;
   bool no_checkpoint = false;
+  std::string explain_id;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -515,6 +521,8 @@ int main(int argc, char** argv) {
       resume = true;
     } else if (arg == "--no-checkpoint") {
       no_checkpoint = true;
+    } else if (arg == "--explain" && i + 1 < argc) {
+      explain_id = argv[++i];
     } else if (arg == "--lint") {
       lint_only = true;
     } else if (arg == "--no-lint") {
@@ -537,6 +545,24 @@ int main(int argc, char** argv) {
     } else {
       root = arg;
     }
+  }
+
+  if (!explain_id.empty()) {
+    const lint::Pass* pass = lint::Registry::builtin().find(explain_id);
+    if (!pass) {
+      std::cerr << "unknown lint check '" << explain_id
+                << "' (ids run AL001..; try --lint-format json for the "
+                   "full catalogue)\n";
+      return 2;
+    }
+    const lint::CheckInfo& info = pass->info();
+    std::cout << info.id << "  " << info.name << "\n"
+              << "  tier:     " << lint::to_string(info.tier) << "\n"
+              << "  contract: " << info.contract << "\n"
+              << "  summary:  " << info.summary << "\n";
+    if (!info.rationale.empty())
+      std::cout << "\n  " << info.rationale << "\n";
+    return 0;
   }
 
   // Cooperative cancellation: exploration polls the token every budget

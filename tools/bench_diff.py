@@ -71,6 +71,16 @@ def storm_bytes_per_state(reports):
                "BM_StormBytesPerState")["bytes_per_state"]
 
 
+def lint_static_decide_rate(reports):
+    return row(reports["BENCH_lint.json"], "BM_LintStaticScreen")[
+        "decide_rate"]
+
+
+def lint_us_per_model(reports):
+    return seconds(row(reports["BENCH_lint.json"],
+                       "BM_LintStaticScreen")) * 1e6
+
+
 class Metric:
     def __init__(self, name, derive, higher_is_better, floor, unit):
         self.name = name
@@ -84,9 +94,12 @@ class Metric:
 
 
 # The gated metrics (ROADMAP perf item): exploration throughput, the warm
-# serve path, how much cheaper a resume is than a cold run, and the two
+# serve path, how much cheaper a resume is than a cold run, the two
 # reduction-layer numbers (state collapse on the symmetric fixture must
-# stay >= 2x; bytes/state on storm tracks the storage representation).
+# stay >= 2x; bytes/state on storm tracks the storage representation), and
+# the static screening numbers (DESIGN.md §14: the decide rate must not
+# drop — a pass silently losing its fragment pushes models back to
+# exploration — and the per-model screen must stay in microseconds).
 METRICS = [
     Metric("explore_states_per_sec", explore_states_per_sec,
            higher_is_better=True, floor=500.0, unit="states/s"),
@@ -98,6 +111,10 @@ METRICS = [
            higher_is_better=True, floor=0.1, unit="x"),
     Metric("storm_bytes_per_state", storm_bytes_per_state,
            higher_is_better=False, floor=64.0, unit="B"),
+    Metric("lint_static_decide_rate", lint_static_decide_rate,
+           higher_is_better=True, floor=0.02, unit="x"),
+    Metric("lint_us_per_model", lint_us_per_model,
+           higher_is_better=False, floor=50.0, unit="us"),
 ]
 
 

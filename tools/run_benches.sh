@@ -7,6 +7,7 @@
 #   BENCH_service.json     service serve-path timings       (bench_service)
 #   BENCH_checkpoint.json  checkpoint capture/resume timings (bench_checkpoint)
 #   BENCH_reduction.json   reduction-ablation states/bytes  (bench_reduction)
+#   BENCH_lint.json        static screening decide rate/cost (bench_lint)
 #
 # Usage: run_benches.sh <build-dir> [--smoke] [--out <dir>]
 #
@@ -51,4 +52,5 @@ run bench_statespace BENCH_explore.json
 run bench_service BENCH_service.json
 run bench_checkpoint BENCH_checkpoint.json
 run bench_reduction BENCH_reduction.json
+run bench_lint BENCH_lint.json
 echo "benchmark reports written to $out"
