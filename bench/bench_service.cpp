@@ -1,16 +1,23 @@
 // Service-layer experiment (DESIGN.md §11): what does the result cache buy?
 // Serve the example models through an in-process server::Service cold
 // (forced exploration) and warm (memory-tier hit) and compare served
-// latencies; the acceptance bar is a >= 10x cheaper warm serve. The table
-// rows land in EXPERIMENTS.md; the BM_ timings feed BENCH_service.json via
+// latencies; the acceptance bar is a >= 10x cheaper warm serve. The warm
+// DISK path (every load digest-verified, DESIGN.md §15) is benchmarked
+// separately with the cache-integrity counters attached. The table rows
+// land in EXPERIMENTS.md; the BM_ timings feed BENCH_service.json via
 // tools/run_benches.sh.
+#include <unistd.h>
+
 #include <chrono>
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
 #include "aadl/fingerprint.hpp"
 #include "bench_common.hpp"
 #include "server/service.hpp"
+#include "util/json.hpp"
 
 namespace {
 
@@ -103,6 +110,70 @@ void BM_ServeCachedMemory(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ServeCachedMemory)->Unit(benchmark::kMicrosecond);
+
+/// A second conclusive model so two keys can alternate through a
+/// one-entry memory tier (13 states; the serve cost is all cache path).
+std::string tiny_text() {
+  return "package Tiny\npublic\n"
+         "  processor CPU\n  properties\n"
+         "    Scheduling_Protocol => RATE_MONOTONIC_PROTOCOL;\n  end CPU;\n"
+         "  thread T\n  end T;\n"
+         "  thread implementation T.impl\n  properties\n"
+         "    Dispatch_Protocol => Periodic;\n    Period => 10 ms;\n"
+         "    Compute_Execution_Time => 2 ms .. 2 ms;\n"
+         "    Deadline => 10 ms;\n  end T.impl;\n"
+         "  system App\n  end App;\n"
+         "  system implementation App.impl\n  subcomponents\n"
+         "    t : thread T.impl;\n  end App.impl;\n"
+         "  system Root\n  end Root;\n"
+         "  system implementation Root.impl\n  subcomponents\n"
+         "    app : system App.impl;\n    cpu : processor CPU;\n"
+         "  properties\n"
+         "    Actual_Processor_Binding => reference (cpu) applies to app;\n"
+         "  end Root.impl;\nend Tiny;\n";
+}
+
+// The warm DISK serve path (DESIGN.md §15): a one-entry memory tier and two
+// alternating keys force every handle() through a disk load — read, trailing
+// digest verification, JSON re-parse, promote. This is the latency a daemon
+// restart (or a cohabitant daemon) pays per shared verdict, and the number
+// the crash-safety work must not regress. The integrity/GC counters ride
+// along in the JSON report so CI archives them with the timings (all must
+// stay 0 on a healthy run).
+void BM_ServeCachedDisk(benchmark::State& state) {
+  char tmpl[] = "/tmp/aadlsched_bench_cache_XXXXXX";
+  if (::mkdtemp(tmpl) == nullptr) {
+    state.SkipWithError("mkdtemp failed");
+    return;
+  }
+  server::ServiceConfig cfg;
+  cfg.cache.disk_dir = tmpl;
+  cfg.cache.memory_capacity = 1;
+  server::Service svc(cfg);
+  const auto avionics = analyze_request(avionics_text(), "Avionics.impl",
+                                        false);
+  const auto tiny = analyze_request(tiny_text(), "Root.impl", false);
+  svc.handle(avionics);  // prime both disk entries
+  svc.handle(tiny);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(svc.handle(avionics));  // evicts tiny
+    benchmark::DoNotOptimize(svc.handle(tiny));      // evicts avionics
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+  const auto stats = util::parse_json(svc.stats_json());
+  const auto counter = [&](const char* obj, const char* key) {
+    const util::JsonValue* v = stats ? stats->get(obj) : nullptr;
+    if (v) v = v->get(key);
+    return benchmark::Counter(v ? static_cast<double>(v->as_int(-1)) : -1);
+  };
+  state.counters["corrupt_evictions"] = counter("cache", "corrupt_evictions");
+  state.counters["disk_store_failures"] =
+      counter("cache", "disk_store_failures");
+  state.counters["gc_runs"] = counter("gc", "runs");
+  state.counters["gc_remove_failures"] = counter("gc", "remove_failures");
+  std::filesystem::remove_all(tmpl);
+}
+BENCHMARK(BM_ServeCachedDisk)->Unit(benchmark::kMicrosecond);
 
 void BM_Fingerprint(benchmark::State& state) {
   util::DiagnosticEngine diags("bench.aadl");

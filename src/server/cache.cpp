@@ -11,6 +11,8 @@
 #include <vector>
 
 #include "core/result_json.hpp"
+#include "server/diskstore.hpp"
+#include "util/budget.hpp"
 #include "util/json.hpp"
 
 namespace aadlsched::server {
@@ -19,18 +21,38 @@ namespace fs = std::filesystem;
 
 namespace {
 
-/// Remove `<name>.tmp.<pid>` leftovers from writers that died between the
-/// tmp write and the rename. They are invisible to lookups (which only
-/// open final paths) but accumulate forever otherwise.
-void sweep_stale_tmp_files(const std::string& dir) {
-  std::error_code ec;
-  for (const auto& ent : fs::directory_iterator(dir, ec)) {
-    if (!ent.is_regular_file(ec)) continue;
-    const std::string name = ent.path().filename().string();
-    if (name.find(".tmp.") == std::string::npos) continue;
-    std::error_code rm;
-    fs::remove(ent.path(), rm);
+using util::FaultInjector;
+
+/// Tmp leftovers younger than this survive the constructor sweep even when
+/// their owner pid cannot be resolved (matches DiskJanitor's default, so
+/// startup and periodic sweeps agree on what "stale" means).
+constexpr double kStartupTmpGraceSeconds = 300;
+
+/// Write `body` to `tmp_path`, honoring the `site` fault hook: a tripped
+/// write site emits only a prefix of the bytes and reports failure — the
+/// torn file a kill -9 mid-write leaves behind, for the sweeper (and the
+/// digest check, should the torn file somehow get renamed) to deal with.
+bool write_tmp_file(const std::string& tmp_path, const std::string& body,
+                    FaultInjector::Site site) {
+  std::ofstream out(tmp_path, std::ios::trunc | std::ios::binary);
+  if (!out) return false;
+  if (FaultInjector::global().trip_io(site)) {
+    out << std::string_view(body).substr(0, body.size() / 2);
+    return false;  // tmp file deliberately left behind, torn
   }
+  out << body;
+  out.flush();
+  return out.good();
+}
+
+std::optional<std::string> read_file(const std::string& path,
+                                     FaultInjector::Site site) {
+  if (FaultInjector::global().trip_io(site)) return std::nullopt;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
 }
 
 }  // namespace
@@ -41,9 +63,9 @@ ResultCache::ResultCache(CacheConfig cfg)
     std::error_code ec;
     fs::create_directories(cfg_.disk_dir, ec);
     // A failed create degrades to memory-only: lookups will miss, stores
-    // will fail silently. The daemon surfaces the misconfiguration at
-    // startup instead (it stats the directory).
-    sweep_stale_tmp_files(cfg_.disk_dir);
+    // will fail (and be counted). The daemon surfaces the misconfiguration
+    // at startup instead (it stats the directory).
+    sweep_stale_tmp_files(cfg_.disk_dir, kStartupTmpGraceSeconds);
   }
 }
 
@@ -52,25 +74,42 @@ std::string ResultCache::disk_path(const std::string& key) const {
   return cfg_.disk_dir + "/" + key + ".json";
 }
 
+void ResultCache::note_store_failure(const std::string& path,
+                                     const char* what) {
+  disk_store_failures_.fetch_add(1, std::memory_order_relaxed);
+  if (!store_diag_emitted_.exchange(true, std::memory_order_relaxed))
+    std::fprintf(stderr,
+                 "aadlschedd: warning: result cache disk store failed (%s: "
+                 "%s); entries stay memory-only until the disk recovers "
+                 "(counted in stats as disk_store_failures)\n",
+                 what, path.c_str());
+}
+
 std::optional<ResultCache::Entry> ResultCache::disk_load(
     const std::string& key) const {
-  std::ifstream in(disk_path(key));
-  if (!in) return std::nullopt;
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  std::string json = buf.str();
-  while (!json.empty() && (json.back() == '\n' || json.back() == '\r'))
-    json.pop_back();
-  // The file *is* the canonical result object; recover the outcome from its
-  // "outcome" field and reject anything torn or foreign. A rejected file is
-  // quarantined (deleted) so the damage costs exactly one miss: the re-run
-  // stores a fresh copy instead of tripping over the same bytes forever.
+  // A failed read (I/O error, injected cache.read fault) is a plain miss —
+  // the file may be fine; only *verified-present-but-invalid* bytes are
+  // quarantined.
+  auto raw = read_file(disk_path(key), FaultInjector::Site::CacheRead);
+  if (!raw || raw->empty()) return std::nullopt;
+  // A rejected file is quarantined (deleted) so the damage costs exactly
+  // one miss: the re-run stores a fresh copy instead of tripping over the
+  // same bytes forever.
   const auto quarantine = [&]() -> std::optional<Entry> {
     std::error_code ec;
     fs::remove(disk_path(key), ec);
     corrupt_evictions_.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   };
+  // Gate 1: the trailing content digest (DESIGN.md §15) — catches torn,
+  // truncated, bit-rotted, or pre-digest-era files byte-exactly.
+  const auto body = strip_trailing_digest(*raw);
+  if (!body) return quarantine();
+  std::string json(*body);
+  while (!json.empty() && (json.back() == '\n' || json.back() == '\r'))
+    json.pop_back();
+  // Gate 2: the payload *is* the canonical result object; recover the
+  // outcome from its "outcome" field and reject anything foreign.
   const auto doc = util::parse_json(json);
   if (!doc || !doc->is_object()) return quarantine();
   const auto* outcome = doc->get("outcome");
@@ -109,14 +148,25 @@ void ResultCache::store(const std::string& key, core::Outcome outcome,
   const std::string final_path = disk_path(key);
   const std::string tmp_path =
       final_path + ".tmp." + std::to_string(::getpid());
-  {
-    std::ofstream out(tmp_path, std::ios::trunc);
-    if (!out) return;  // read-only dir: memory tier still works
-    out << result_json << '\n';
+  std::string body = result_json;
+  body += '\n';
+  append_digest(body);
+  if (!write_tmp_file(tmp_path, body, FaultInjector::Site::CacheWrite)) {
+    note_store_failure(final_path, "write");
+    return;  // torn tmp (if any) is left for the liveness-aware sweeper
+  }
+  if (FaultInjector::global().trip_io(FaultInjector::Site::CacheRename)) {
+    std::error_code ec;
+    fs::remove(tmp_path, ec);
+    note_store_failure(final_path, "rename (injected)");
+    return;
   }
   std::error_code ec;
   fs::rename(tmp_path, final_path, ec);
-  if (ec) fs::remove(tmp_path, ec);
+  if (ec) {
+    fs::remove(tmp_path, ec);
+    note_store_failure(final_path, "rename");
+  }
 }
 
 std::uint64_t ResultCache::evictions() const {
@@ -141,12 +191,23 @@ CheckpointStore::CheckpointStore(std::size_t memory_capacity,
     fs::create_directories(disk_dir_, ec);
     // ResultCache sweeps the shared directory too when it owns it, but the
     // store must clean up after itself when configured standalone.
-    sweep_stale_tmp_files(disk_dir_);
+    sweep_stale_tmp_files(disk_dir_, kStartupTmpGraceSeconds);
   }
 }
 
 std::string CheckpointStore::disk_path(const std::string& key) const {
   return disk_dir_ + "/" + key + ".ckpt";
+}
+
+void CheckpointStore::note_store_failure(const std::string& path,
+                                         const char* what) {
+  disk_store_failures_.fetch_add(1, std::memory_order_relaxed);
+  if (!store_diag_emitted_.exchange(true, std::memory_order_relaxed))
+    std::fprintf(stderr,
+                 "aadlschedd: warning: checkpoint disk store failed (%s: "
+                 "%s); warm re-exploration will not survive a restart "
+                 "(counted in stats as disk_store_failures)\n",
+                 what, path.c_str());
 }
 
 std::optional<std::string> CheckpointStore::lookup(const std::string& key) {
@@ -155,17 +216,21 @@ std::optional<std::string> CheckpointStore::lookup(const std::string& key) {
     if (auto blob = memory_.get(key)) return blob;
   }
   if (!has_disk_tier()) return std::nullopt;
-  std::ifstream in(disk_path(key), std::ios::binary);
-  if (!in) return std::nullopt;
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  std::string blob = buf.str();
-  if (blob.empty()) return std::nullopt;
-  // No integrity check here: versa::parse_checkpoint verifies the embedded
-  // digest and the service erases blobs that fail to restore.
+  auto blob = read_file(disk_path(key), FaultInjector::Site::CkptRead);
+  if (!blob || blob->empty()) return std::nullopt;
+  // serialize_checkpoint seals every blob with the same trailing digest
+  // line diskstore.hpp uses; verify it here (without stripping — it is part
+  // of the blob format parse_checkpoint expects) so a torn .ckpt is
+  // quarantined instead of burning a restore attempt.
+  if (!verify_trailing_digest(*blob)) {
+    std::error_code ec;
+    fs::remove(disk_path(key), ec);
+    corrupt_evictions_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
   {
     std::lock_guard lock(mu_);
-    memory_.put(key, blob);
+    memory_.put(key, *blob);
   }
   return blob;
 }
@@ -181,15 +246,15 @@ void CheckpointStore::store(const std::string& key,
   const std::string final_path = disk_path(key);
   const std::string tmp_path =
       final_path + ".tmp." + std::to_string(::getpid());
-  {
-    std::ofstream out(tmp_path, std::ios::trunc | std::ios::binary);
-    if (!out) return;
-    out << checkpoint;
+  if (!write_tmp_file(tmp_path, checkpoint, FaultInjector::Site::CkptWrite)) {
+    note_store_failure(final_path, "write");
+    return;
   }
   std::error_code ec;
   fs::rename(tmp_path, final_path, ec);
   if (ec) {
     fs::remove(tmp_path, ec);
+    note_store_failure(final_path, "rename");
     return;
   }
   enforce_disk_cap();
@@ -219,6 +284,10 @@ void CheckpointStore::enforce_disk_cap() {
   const std::size_t excess = files.size() - disk_cap_;
   std::uint64_t removed = 0;
   for (std::size_t i = 0; i < excess; ++i) {
+    // Cap-based eviction is GC too: same gc.remove fault site as the
+    // size-budgeted sweep, so the soak can starve it deterministically.
+    if (FaultInjector::global().trip_io(FaultInjector::Site::GcRemove))
+      continue;
     std::error_code rm;
     if (fs::remove(files[i].second, rm)) ++removed;
   }

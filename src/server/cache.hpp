@@ -67,7 +67,9 @@ class ResultCache {
   std::optional<Hit> lookup(const std::string& key);
 
   /// No-op unless cacheable(outcome). Disk writes are atomic
-  /// (tmp + rename) so a concurrent reader never sees a torn file.
+  /// (tmp + rename) and sealed with a trailing content digest that
+  /// lookup() verifies, so a concurrent reader never sees a torn file and
+  /// a corrupted one is never served.
   void store(const std::string& key, core::Outcome outcome,
              const std::string& result_json);
 
@@ -77,6 +79,12 @@ class ResultCache {
   /// cache miss and then self-heals: the re-run's store rewrites the file.
   std::uint64_t corrupt_evictions() const {
     return corrupt_evictions_.load(std::memory_order_relaxed);
+  }
+  /// Disk stores that never landed (tmp write or rename failed, including
+  /// injected faults). The memory tier still holds the entry; only
+  /// persistence was lost. First failure emits a one-shot diagnostic.
+  std::uint64_t disk_store_failures() const {
+    return disk_store_failures_.load(std::memory_order_relaxed);
   }
   bool has_disk_tier() const { return !cfg_.disk_dir.empty(); }
 
@@ -88,11 +96,14 @@ class ResultCache {
 
   std::string disk_path(const std::string& key) const;
   std::optional<Entry> disk_load(const std::string& key) const;
+  void note_store_failure(const std::string& path, const char* what);
 
   CacheConfig cfg_;
   mutable std::mutex mu_;
   util::LruCache<std::string, Entry> memory_;
   mutable std::atomic<std::uint64_t> corrupt_evictions_{0};
+  std::atomic<std::uint64_t> disk_store_failures_{0};
+  std::atomic<bool> store_diag_emitted_{false};
 };
 
 /// Third cache tier: serialized exploration checkpoints of budget-bound
@@ -102,9 +113,12 @@ class ResultCache {
 /// entry is dropped the moment a conclusive result lands for its key
 /// (the result cache supersedes it).
 ///
-/// The blob is treated as opaque bytes here; integrity is enforced where it
-/// matters, by the digest check in versa::parse_checkpoint. A checkpoint
-/// that fails to restore costs one cold run and is erased by the service.
+/// Blobs are near-opaque bytes, but every disk load re-verifies the
+/// trailing digest versa::serialize_checkpoint seals into the blob (the
+/// same seal diskstore.hpp applies to result files) and quarantines
+/// mismatches — a torn `.ckpt` from a killed writer is never handed to
+/// versa::parse_checkpoint. A checkpoint that fails to restore for deeper
+/// reasons still costs one cold run and is erased by the service.
 class CheckpointStore {
  public:
   CheckpointStore(std::size_t memory_capacity, std::size_t disk_cap,
@@ -123,17 +137,31 @@ class CheckpointStore {
 
   std::uint64_t evictions() const;
   std::uint64_t entries() const;
+  /// Blobs whose embedded trailing digest did not verify on disk load;
+  /// quarantined (deleted) exactly like corrupt result entries.
+  std::uint64_t corrupt_evictions() const {
+    return corrupt_evictions_.load(std::memory_order_relaxed);
+  }
+  /// Disk stores that never landed (tmp write or rename failed, including
+  /// injected faults); mirrors ResultCache::disk_store_failures.
+  std::uint64_t disk_store_failures() const {
+    return disk_store_failures_.load(std::memory_order_relaxed);
+  }
   bool has_disk_tier() const { return disk_cap_ > 0 && !disk_dir_.empty(); }
 
  private:
   std::string disk_path(const std::string& key) const;
   void enforce_disk_cap();  // caller must NOT hold mu_ (does file I/O)
+  void note_store_failure(const std::string& path, const char* what);
 
   std::size_t disk_cap_;
   std::string disk_dir_;
   mutable std::mutex mu_;
   util::LruCache<std::string, std::string> memory_;
   std::uint64_t disk_evictions_ = 0;
+  mutable std::atomic<std::uint64_t> corrupt_evictions_{0};
+  std::atomic<std::uint64_t> disk_store_failures_{0};
+  std::atomic<bool> store_diag_emitted_{false};
 };
 
 }  // namespace aadlsched::server

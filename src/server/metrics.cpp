@@ -19,6 +19,7 @@ std::string StatsSnapshot::render_json() const {
   w.key("stores").value(cache_stores);
   w.key("evictions").value(cache_evictions);
   w.key("corrupt_evictions").value(cache_corrupt_evictions);
+  w.key("disk_store_failures").value(cache_disk_store_failures);
   w.key("entries").value(cache_entries);
   w.end_object();
   w.key("checkpoints").begin_object();
@@ -27,7 +28,19 @@ std::string StatsSnapshot::render_json() const {
   w.key("stores").value(checkpoint_stores);
   w.key("resume_failures").value(checkpoint_resume_failures);
   w.key("evictions").value(checkpoint_evictions);
+  w.key("corrupt_evictions").value(checkpoint_corrupt_evictions);
+  w.key("disk_store_failures").value(checkpoint_disk_store_failures);
   w.key("entries").value(checkpoint_entries);
+  w.end_object();
+  w.key("gc").begin_object();
+  w.key("runs").value(gc_runs);
+  w.key("removed_files").value(gc_removed_files);
+  w.key("removed_bytes").value(gc_removed_bytes);
+  w.key("remove_failures").value(gc_remove_failures);
+  w.key("tmp_swept").value(gc_tmp_swept);
+  w.end_object();
+  w.key("shared").begin_object();
+  w.key("instances").value(shared_instances);
   w.end_object();
   w.key("coalesced").value(coalesced);
   w.key("protocol_errors").value(protocol_errors);
@@ -146,8 +159,17 @@ StatsSnapshot Metrics::snapshot(const CacheGauges& gauges) const {
   out.cache_evictions = gauges.cache_evictions;
   out.cache_entries = gauges.cache_entries;
   out.cache_corrupt_evictions = gauges.cache_corrupt_evictions;
+  out.cache_disk_store_failures = gauges.cache_disk_store_failures;
   out.checkpoint_evictions = gauges.checkpoint_evictions;
   out.checkpoint_entries = gauges.checkpoint_entries;
+  out.checkpoint_corrupt_evictions = gauges.checkpoint_corrupt_evictions;
+  out.checkpoint_disk_store_failures = gauges.checkpoint_disk_store_failures;
+  out.gc_runs = gauges.gc_runs;
+  out.gc_removed_files = gauges.gc_removed_files;
+  out.gc_removed_bytes = gauges.gc_removed_bytes;
+  out.gc_remove_failures = gauges.gc_remove_failures;
+  out.gc_tmp_swept = gauges.gc_tmp_swept;
+  out.shared_instances = gauges.shared_instances;
   out.analyses_run = s_.analyses_run;
   out.latency_samples = latency_total_;
   out.max_ms = latency_max_;

@@ -32,12 +32,23 @@ struct StatsSnapshot {
   std::uint64_t cache_evictions = 0;
   /// Corrupt disk-cache files quarantined on load (cache self-healing).
   std::uint64_t cache_corrupt_evictions = 0;
+  /// Result-store disk writes that never landed (tmp write/rename failed).
+  std::uint64_t cache_disk_store_failures = 0;
   // Warm re-exploration (checkpoint tier, DESIGN.md §12).
   std::uint64_t checkpoint_hits = 0;    // resume requests served a checkpoint
   std::uint64_t checkpoint_misses = 0;  // resume requested, none available
   std::uint64_t checkpoint_stores = 0;  // budget-bound runs checkpointed
   std::uint64_t checkpoint_resume_failures = 0;  // restore rejected; ran cold
   std::uint64_t checkpoint_evictions = 0;
+  std::uint64_t checkpoint_corrupt_evictions = 0;  // digest-failed .ckpt files
+  std::uint64_t checkpoint_disk_store_failures = 0;
+  // Shared-directory maintenance (DESIGN.md §15): size-budgeted GC plus
+  // tmp hygiene, accumulated by the DiskJanitor across sweeps.
+  std::uint64_t gc_runs = 0;
+  std::uint64_t gc_removed_files = 0;
+  std::uint64_t gc_removed_bytes = 0;
+  std::uint64_t gc_remove_failures = 0;
+  std::uint64_t gc_tmp_swept = 0;
   std::uint64_t coalesced = 0;  // requests that piggybacked an in-flight run
   std::uint64_t protocol_errors = 0;
   std::uint64_t outcomes[4] = {0, 0, 0, 0};  // indexed by core::Outcome
@@ -46,6 +57,9 @@ struct StatsSnapshot {
   std::uint64_t queue_depth = 0;  // admitted but not yet executing
   std::uint64_t cache_entries = 0;
   std::uint64_t checkpoint_entries = 0;
+  /// Live daemons registered on this cache directory (self included; 0
+  /// when the disk tier is off).
+  std::uint64_t shared_instances = 0;
   // Latency of served analyze requests (submit -> response), milliseconds.
   std::uint64_t latency_samples = 0;
   double p50_ms = 0;
@@ -83,8 +97,17 @@ class Metrics {
     std::uint64_t cache_evictions = 0;
     std::uint64_t cache_entries = 0;
     std::uint64_t cache_corrupt_evictions = 0;
+    std::uint64_t cache_disk_store_failures = 0;
     std::uint64_t checkpoint_evictions = 0;
     std::uint64_t checkpoint_entries = 0;
+    std::uint64_t checkpoint_corrupt_evictions = 0;
+    std::uint64_t checkpoint_disk_store_failures = 0;
+    std::uint64_t gc_runs = 0;
+    std::uint64_t gc_removed_files = 0;
+    std::uint64_t gc_removed_bytes = 0;
+    std::uint64_t gc_remove_failures = 0;
+    std::uint64_t gc_tmp_swept = 0;
+    std::uint64_t shared_instances = 0;
   };
   StatsSnapshot snapshot(const CacheGauges& gauges) const;
 

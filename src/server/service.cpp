@@ -130,16 +130,28 @@ Service::Service(ServiceConfig cfg)
                    cfg.cache.checkpoints ? cfg.cache.checkpoint_disk_cap : 0,
                    cfg.cache.disk_dir),
       admission_(std::max<std::size_t>(1, cfg.small_burst)) {
+  if (!cfg_.cache.disk_dir.empty()) {
+    DiskJanitor::Config jc;
+    jc.dir = cfg_.cache.disk_dir;
+    jc.cap_bytes = cfg_.cache_disk_cap_bytes;
+    janitor_ = std::make_unique<DiskJanitor>(jc);
+    // Startup sweep: reap what previous (possibly killed) daemons left
+    // behind before serving the first request.
+    janitor_->sweep();
+  }
   std::size_t n = cfg_.workers;
   if (n == 0)
     n = std::max<unsigned>(1, std::thread::hardware_concurrency());
   for (std::size_t i = 0; i < n; ++i)
     workers_.emplace_back([this] { worker_loop(); });
+  if (janitor_ && cfg_.maintenance_interval_ms > 0)
+    maintenance_ = std::thread([this] { maintenance_loop(); });
 }
 
 Service::~Service() {
   shutdown();
   for (std::thread& t : workers_) t.join();
+  if (maintenance_.joinable()) maintenance_.join();
 }
 
 void Service::shutdown() {
@@ -148,6 +160,11 @@ void Service::shutdown() {
     stop_ = true;
   }
   cv_.notify_all();
+  {
+    std::lock_guard lock(maint_mu_);
+    maint_stop_ = true;
+  }
+  maint_cv_.notify_all();
 }
 
 bool Service::shutting_down() const {
@@ -304,6 +321,19 @@ std::future<Response> Service::submit(Request req) {
   return fut;
 }
 
+void Service::maintenance_loop() {
+  const auto interval = std::chrono::duration<double, std::milli>(
+      cfg_.maintenance_interval_ms);
+  std::unique_lock lock(maint_mu_);
+  while (!maint_stop_) {
+    if (maint_cv_.wait_for(lock, interval, [&] { return maint_stop_; }))
+      return;
+    lock.unlock();
+    janitor_->sweep();  // never under maint_mu_: sweeps do file I/O
+    lock.lock();
+  }
+}
+
 void Service::worker_loop() {
   while (true) {
     std::shared_ptr<Job> job;
@@ -426,8 +456,20 @@ std::string Service::stats_json() {
   g.cache_evictions = cache_.evictions();
   g.cache_entries = cache_.entries();
   g.cache_corrupt_evictions = cache_.corrupt_evictions();
+  g.cache_disk_store_failures = cache_.disk_store_failures();
   g.checkpoint_evictions = checkpoints_.evictions();
   g.checkpoint_entries = checkpoints_.entries();
+  g.checkpoint_corrupt_evictions = checkpoints_.corrupt_evictions();
+  g.checkpoint_disk_store_failures = checkpoints_.disk_store_failures();
+  if (janitor_) {
+    const GcStats gc = janitor_->gc_stats();
+    g.gc_runs = gc.runs;
+    g.gc_removed_files = gc.removed_files;
+    g.gc_removed_bytes = gc.removed_bytes;
+    g.gc_remove_failures = gc.remove_failures;
+    g.gc_tmp_swept = gc.tmp_swept;
+    g.shared_instances = janitor_->instances_gauge();
+  }
   return metrics_.snapshot(g).render_json();
 }
 

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "server/cache.hpp"
+#include "server/diskstore.hpp"
 #include "server/metrics.hpp"
 #include "server/protocol.hpp"
 
@@ -56,6 +57,15 @@ struct ServiceConfig {
   /// Admission policy (see file comment).
   std::size_t small_model_bytes = 16 * 1024;
   std::size_t small_burst = 4;
+  // --- shared-directory maintenance (DESIGN.md §15) ---------------------
+  /// Byte budget for disk artifacts (`.json` + `.ckpt`) in the cache dir;
+  /// the maintenance sweep evicts oldest-atime-first when over it.
+  /// 0 = no size budget.
+  std::uint64_t cache_disk_cap_bytes = 0;
+  /// Period of the background maintenance sweep (tmp hygiene, instance
+  /// registry reaping, size-budgeted GC). 0 disables the thread; a startup
+  /// sweep still runs either way when the disk tier is on.
+  double maintenance_interval_ms = 30'000;
 };
 
 /// Admission order, factored out of Service so the policy is unit-testable
@@ -105,16 +115,23 @@ class Service {
 
   const ServiceConfig& config() const { return cfg_; }
 
+  /// The shared-directory maintenance agent; null when the disk tier is
+  /// off. Exposed so the daemon can log cohabitants at startup and tests
+  /// can force a sweep.
+  DiskJanitor* janitor() { return janitor_.get(); }
+
  private:
   struct Job;
 
   core::AnalyzerOptions analyzer_options(const RequestOptions& ro) const;
   void worker_loop();
+  void maintenance_loop();
   void run_job(const std::shared_ptr<Job>& job);
 
   ServiceConfig cfg_;
   ResultCache cache_;
   CheckpointStore checkpoints_;
+  std::unique_ptr<DiskJanitor> janitor_;  // disk tier only
   Metrics metrics_;
 
   mutable std::mutex mu_;
@@ -126,6 +143,12 @@ class Service {
   /// cache-key -> in-flight job accepting coalesced waiters.
   std::unordered_map<std::string, std::shared_ptr<Job>> pending_;
   std::vector<std::thread> workers_;
+  // The maintenance thread has its own mutex/cv: it must never consume a
+  // cv_ notify meant to hand a worker a queued job.
+  std::mutex maint_mu_;
+  std::condition_variable maint_cv_;
+  bool maint_stop_ = false;
+  std::thread maintenance_;
 };
 
 }  // namespace aadlsched::server

@@ -1,9 +1,12 @@
 #include "server/tcp.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -213,11 +216,54 @@ bool Client::connect(const std::string& host, std::uint16_t port,
     close();
     return false;
   }
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
-    error = "connect " + host + ":" + std::to_string(port) + ": " +
-            std::strerror(errno);
+  const std::string where = host + ":" + std::to_string(port);
+  if (timeouts_.connect_ms > 0) {
+    // Non-blocking connect + poll, so an unroutable daemon address fails
+    // after connect_ms instead of the kernel's multi-minute SYN backoff.
+    const int flags = ::fcntl(fd_, F_GETFL, 0);
+    ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+    int rc = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+    if (rc < 0 && errno == EINPROGRESS) {
+      pollfd pfd{fd_, POLLOUT, 0};
+      do {
+        rc = ::poll(&pfd, 1, static_cast<int>(timeouts_.connect_ms));
+      } while (rc < 0 && errno == EINTR);
+      if (rc == 0) {
+        error = "connect " + where + ": timed out after " +
+                std::to_string(static_cast<long>(timeouts_.connect_ms)) +
+                " ms";
+        close();
+        return false;
+      }
+      int so_error = 0;
+      socklen_t len = sizeof so_error;
+      if (rc < 0 ||
+          ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &so_error, &len) < 0 ||
+          so_error != 0) {
+        error = "connect " + where + ": " +
+                std::strerror(so_error != 0 ? so_error : errno);
+        close();
+        return false;
+      }
+    } else if (rc < 0) {
+      error = "connect " + where + ": " + std::strerror(errno);
+      close();
+      return false;
+    }
+    ::fcntl(fd_, F_SETFL, flags);  // back to blocking for line I/O
+  } else if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                       sizeof addr) < 0) {
+    error = "connect " + where + ": " + std::strerror(errno);
     close();
     return false;
+  }
+  if (timeouts_.io_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(timeouts_.io_ms / 1000.0);
+    tv.tv_usec = static_cast<suseconds_t>(
+        (timeouts_.io_ms - static_cast<double>(tv.tv_sec) * 1000.0) * 1000.0);
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
   }
   const int one = 1;
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
@@ -235,7 +281,9 @@ bool Client::roundtrip(const std::string& request_line,
     return false;
   }
   if (!recv_line(fd_, rx_buffer_, response_line)) {
-    error = "connection closed before a response arrived";
+    error = (errno == EAGAIN || errno == EWOULDBLOCK)
+                ? "receive timed out before a response arrived"
+                : "connection closed before a response arrived";
     return false;
   }
   return true;

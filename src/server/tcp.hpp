@@ -69,10 +69,20 @@ class TcpServer {
 };
 
 /// Blocking line-oriented client for the --connect mode and the smoke
-/// tests.
+/// tests. Optional timeouts keep a wedged daemon (or a black-holed route)
+/// from hanging the CLI forever: connect uses a non-blocking connect +
+/// poll, I/O uses SO_RCVTIMEO/SO_SNDTIMEO. Zero (the default) means the
+/// OS-default blocking behaviour, so existing callers are unchanged.
 class Client {
  public:
+  struct Timeouts {
+    double connect_ms = 0;  // 0 = blocking connect (OS default)
+    double io_ms = 0;       // 0 = no send/recv deadline
+  };
+
   ~Client();
+
+  void set_timeouts(Timeouts t) { timeouts_ = t; }
 
   bool connect(const std::string& host, std::uint16_t port,
                std::string& error);
@@ -84,6 +94,7 @@ class Client {
  private:
   int fd_ = -1;
   std::string rx_buffer_;
+  Timeouts timeouts_;
 };
 
 /// Parse "HOST:PORT" (host may be empty → 127.0.0.1).

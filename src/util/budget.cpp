@@ -15,6 +15,12 @@ std::optional<FaultInjector::Site> parse_site(std::string_view s) {
   if (s == "budget-check") return FaultInjector::Site::BudgetCheck;
   if (s == "memory-probe") return FaultInjector::Site::MemoryProbe;
   if (s == "job") return FaultInjector::Site::Job;
+  if (s == "cache.write") return FaultInjector::Site::CacheWrite;
+  if (s == "cache.rename") return FaultInjector::Site::CacheRename;
+  if (s == "cache.read") return FaultInjector::Site::CacheRead;
+  if (s == "ckpt.write") return FaultInjector::Site::CkptWrite;
+  if (s == "ckpt.read") return FaultInjector::Site::CkptRead;
+  if (s == "gc.remove") return FaultInjector::Site::GcRemove;
   return std::nullopt;
 }
 

@@ -89,6 +89,18 @@ class FaultInjector {
     BudgetCheck,  // a BudgetTracker/worker budget check reports `reason`
     MemoryProbe,  // a memory probe reports pressure regardless of usage
     Job,          // a parallel_sweep job throws InjectedFault on entry
+    // Filesystem sites (DESIGN.md §15): every disk I/O the server performs
+    // can be made to fail deterministically, so the crash-safety of the
+    // shared on-disk cache is testable without real disk damage. A tripped
+    // write site abandons the tmp file mid-write (the torn-file case a
+    // kill -9 produces); a tripped read site reports the read failed; a
+    // tripped gc.remove leaves the file in place.
+    CacheWrite,   // result store: writing the tmp file fails partway
+    CacheRename,  // result store: the tmp -> final rename fails
+    CacheRead,    // result store: reading a disk entry fails
+    CkptWrite,    // checkpoint store: writing the tmp file fails partway
+    CkptRead,     // checkpoint store: reading a .ckpt fails
+    GcRemove,     // GC/eviction: fs::remove fails
   };
 
   FaultInjector() = default;
@@ -98,6 +110,8 @@ class FaultInjector {
   ///   memory-probe:1              — first memory probe reports pressure
   ///   memory-probe:1:fault:1000   — pressure persists for 1000 probes
   ///   job:2                       — 2nd sweep job throws
+  ///   cache.rename:1:fault:1000   — every result-store rename fails
+  ///   ckpt.read:2                 — 2nd checkpoint disk read fails
   /// Empty spec disarms. Returns false (and disarms) on a malformed spec.
   bool arm(std::string_view spec);
   /// Arm programmatically: trip `count` consecutive probes starting with
@@ -113,6 +127,10 @@ class FaultInjector {
   bool trip_memory_probe() noexcept;
   /// Sweep-job hook: throws InjectedFault when tripping.
   void maybe_throw_job();
+  /// Filesystem hook: true = the I/O at `site` must fail. `site` must be
+  /// one of the filesystem sites; counting is shared with every other site
+  /// kind (one armed site per injector, like the other hooks).
+  bool trip_io(Site site) noexcept { return hit(site); }
 
   /// Process-wide instance; arms itself from $AADLSCHED_FAULT on first use.
   static FaultInjector& global();

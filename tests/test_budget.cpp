@@ -158,6 +158,37 @@ TEST(Budget, FaultInjectorSpecParsing) {
   EXPECT_FALSE(fi.armed());  // malformed spec leaves it disarmed
 }
 
+TEST(Budget, FaultInjectorFilesystemSites) {
+  using Site = FaultInjector::Site;
+  FaultInjector fi;
+
+  // Every filesystem site name parses, and trip_io honors nth/count.
+  EXPECT_TRUE(fi.arm("cache.write:2"));
+  EXPECT_FALSE(fi.trip_io(Site::CacheWrite));  // 1st
+  EXPECT_TRUE(fi.trip_io(Site::CacheWrite));   // 2nd trips
+  EXPECT_FALSE(fi.trip_io(Site::CacheWrite));  // one-shot by default
+
+  EXPECT_TRUE(fi.arm("cache.rename:1:fault:1000"));  // persistent window
+  EXPECT_TRUE(fi.trip_io(Site::CacheRename));
+  EXPECT_TRUE(fi.trip_io(Site::CacheRename));
+
+  // A probe at a different site never trips and never consumes the count.
+  EXPECT_TRUE(fi.arm("ckpt.read:1"));
+  EXPECT_FALSE(fi.trip_io(Site::CacheRead));
+  EXPECT_FALSE(fi.trip_io(Site::CkptWrite));
+  EXPECT_TRUE(fi.trip_io(Site::CkptRead));
+
+  EXPECT_TRUE(fi.arm("cache.read:1"));
+  EXPECT_TRUE(fi.trip_io(Site::CacheRead));
+  EXPECT_TRUE(fi.arm("ckpt.write:1"));
+  EXPECT_TRUE(fi.trip_io(Site::CkptWrite));
+  EXPECT_TRUE(fi.arm("gc.remove:1"));
+  EXPECT_TRUE(fi.trip_io(Site::GcRemove));
+
+  EXPECT_FALSE(fi.arm("cache.write"));   // missing nth, like other sites
+  EXPECT_FALSE(fi.arm("gc.remove:0"));   // nth must be >= 1
+}
+
 TEST(Budget, TrackerMaxStatesAndCancel) {
   CancelToken tok;
   RunBudget b;

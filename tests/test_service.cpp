@@ -6,6 +6,9 @@
 // label.
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <cstdlib>
 #include <filesystem>
@@ -208,19 +211,35 @@ TEST(Service, StaleTmpFilesAreSweptOnConstruction) {
   ASSERT_NE(::mkdtemp(tmpl), nullptr);
   const std::string dir = tmpl;
 
-  // Leftovers of writers that died between the tmp write and the rename —
-  // one per cache tier — plus a legitimate final file that must survive.
-  std::ofstream(dir + "/deadbeef.json.tmp.4242") << "{\"torn\":";
-  std::ofstream(dir + "/deadbeef.ckpt.tmp.4242") << "partial";
+  // A guaranteed-dead pid: fork a child that exits immediately and reap it.
+  const pid_t dead = ::fork();
+  ASSERT_GE(dead, 0);
+  if (dead == 0) ::_exit(0);
+  int wstatus = 0;
+  ASSERT_EQ(::waitpid(dead, &wstatus, 0), dead);
+  const std::string dead_pid = std::to_string(dead);
+
+  // Leftovers of a writer that died between the tmp write and the rename —
+  // one per cache tier — plus a legitimate final file that must survive,
+  // plus a fresh tmp file owned by THIS (live) process: a sibling daemon
+  // mid-write, which the sweep must leave alone.
+  std::ofstream(dir + "/deadbeef.json.tmp." + dead_pid) << "{\"torn\":";
+  std::ofstream(dir + "/deadbeef.ckpt.tmp." + dead_pid) << "partial";
   std::ofstream(dir + "/keepme.json") << "{\"outcome\": \"schedulable\"}";
+  const std::string inflight =
+      dir + "/inflight.json.tmp." + std::to_string(::getpid());
+  std::ofstream(inflight) << "{\"mid\":";
 
   ServiceConfig cfg;
   cfg.cache.disk_dir = dir;
   Service svc(cfg);
 
-  EXPECT_FALSE(std::filesystem::exists(dir + "/deadbeef.json.tmp.4242"));
-  EXPECT_FALSE(std::filesystem::exists(dir + "/deadbeef.ckpt.tmp.4242"));
+  EXPECT_FALSE(
+      std::filesystem::exists(dir + "/deadbeef.json.tmp." + dead_pid));
+  EXPECT_FALSE(
+      std::filesystem::exists(dir + "/deadbeef.ckpt.tmp." + dead_pid));
   EXPECT_TRUE(std::filesystem::exists(dir + "/keepme.json"));
+  EXPECT_TRUE(std::filesystem::exists(inflight));  // live owner, in grace
 
   std::filesystem::remove_all(dir);
 }
@@ -391,14 +410,17 @@ TEST(Service, CorruptCheckpointOnDiskFallsBackColdAndIsErased) {
   again.resume = true;
   const Response resp = second.handle(again);
   ASSERT_TRUE(resp.ok);
-  // The digest check rejected the blob; the run fell back cold and still
-  // reached the verdict.
+  // The store's digest check quarantined the blob at lookup — the corrupt
+  // bytes were never served; the run fell back cold and still reached the
+  // verdict.
   EXPECT_FALSE(resp.resumed);
   EXPECT_EQ(resp.outcome, core::Outcome::Schedulable);
   const auto s = stats_of(second);
-  EXPECT_EQ(stat(s, "checkpoints", "hits"), 1);  // the bytes were served
-  EXPECT_EQ(stat(s, "checkpoints", "resume_failures"), 1);
-  EXPECT_EQ(stat(s, "checkpoints", "entries"), 0);  // and then erased
+  EXPECT_EQ(stat(s, "checkpoints", "hits"), 0);
+  EXPECT_EQ(stat(s, "checkpoints", "misses"), 1);
+  EXPECT_EQ(stat(s, "checkpoints", "corrupt_evictions"), 1);
+  EXPECT_EQ(stat(s, "checkpoints", "resume_failures"), 0);
+  EXPECT_EQ(stat(s, "checkpoints", "entries"), 0);  // quarantined == erased
   EXPECT_FALSE(std::filesystem::exists(ckpt_path));
 
   std::filesystem::remove_all(dir);

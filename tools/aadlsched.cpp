@@ -51,6 +51,16 @@
 //                          --stats / --shutdown, query or stop the daemon.
 //   --no-cache             (with --connect) force a fresh exploration,
 //                          bypassing the daemon's result cache
+//   --connect-timeout-ms <n>
+//                          (with --connect) connect deadline per attempt
+//                          (default 2000; 0 = OS default)
+//   --io-timeout-ms <n>    (with --connect) send/receive deadline per
+//                          request (default 0 = none — explorations can
+//                          legitimately run long)
+//   --connect-retries <n>  (with --connect) transport-failure retries
+//                          (connection refused, timeout, truncated
+//                          response) with exponential backoff + jitter
+//                          before giving up (default 3; 0 = fail fast)
 //   --checkpoint-file <f>  (local) when a budget truncates the run, save a
 //                          warm-restart checkpoint (translated ACSR module
 //                          + BFS wavefront, DESIGN.md §12) to <f>
@@ -67,15 +77,25 @@
 // SIGINT hard-exits.
 //
 // Exit code: 0 schedulable, 1 not schedulable, 2 usage/front-end error,
-// 3 inconclusive (budget/cancellation truncated the exploration).
+// 3 inconclusive (budget/cancellation truncated the exploration),
+// 4 daemon unreachable (--connect transport failure after all retries —
+// distinct from 2 so scripts can tell "restart the daemon" from "fix the
+// model").
+#include <unistd.h>
+
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <limits>
+#include <optional>
+#include <random>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "acsr/printer.hpp"
@@ -112,7 +132,8 @@ int usage() {
       "                 [--report file] [common options]\n"
       "       aadlsched --connect <host:port> <model.aadl>... <Root.impl>\n"
       "                 [--no-cache] [--resume] [--no-checkpoint]\n"
-      "                 [common options]\n"
+      "                 [--connect-timeout-ms n] [--io-timeout-ms n]\n"
+      "                 [--connect-retries n] [common options]\n"
       "       aadlsched --connect <host:port> --stats | --shutdown\n";
   return 2;
 }
@@ -290,13 +311,30 @@ server::RequestOptions to_request_options(const core::AnalyzerOptions& opts) {
   return ro;
 }
 
+/// --connect transport policy: per-attempt timeouts plus bounded retry.
+struct ConnectPolicy {
+  double connect_timeout_ms = 2000;
+  double io_timeout_ms = 0;  // analyses can legitimately run long
+  unsigned retries = 3;
+};
+
+/// Exit code for "daemon unreachable": every transport-level failure
+/// (refused, timeout, truncated response) after retries are exhausted.
+/// Distinct from 2 (usage/front-end/analysis error) so orchestration
+/// scripts can distinguish "restart the daemon" from "fix the model".
+constexpr int kExitUnreachable = 4;
+
 /// Submit the analysis to a running aadlschedd. The daemon returns the
 /// canonical result object verbatim, so output and exit codes match a
-/// local `aadlsched --json` run byte for byte.
+/// local `aadlsched --json` run byte for byte. Transport failures are
+/// retried with exponential backoff + jitter (a daemon mid-restart is the
+/// common case); a daemon that *answers* with an error is never retried —
+/// that is an analysis/protocol failure, not unreachability.
 int run_connect(const std::string& endpoint,
                 const std::vector<std::string>& files, const std::string& root,
                 const core::AnalyzerOptions& opts, bool no_cache, bool resume,
-                bool no_checkpoint, bool want_stats, bool want_shutdown) {
+                bool no_checkpoint, bool want_stats, bool want_shutdown,
+                const ConnectPolicy& policy) {
   std::string host;
   std::uint16_t port = 0;
   if (!server::parse_endpoint(endpoint, host, port)) {
@@ -329,23 +367,46 @@ int run_connect(const std::string& endpoint,
       if (!req.model.empty() && req.model.back() != '\n') req.model += '\n';
     }
   }
+  const std::string request_line = server::render_request(req);
 
-  server::Client client;
+  // Jitter decorrelates a herd of clients retrying against one restarting
+  // daemon; pid ^ clock keeps forked batch runners apart.
+  std::mt19937 rng(static_cast<std::uint32_t>(::getpid()) ^
+                   static_cast<std::uint32_t>(
+                       std::chrono::steady_clock::now()
+                           .time_since_epoch()
+                           .count()));
+  std::optional<server::Response> resp;
   std::string error;
-  if (!client.connect(host, port, error)) {
-    std::cerr << "cannot connect to " << host << ":" << port << ": " << error
-              << "\n";
-    return 2;
+  for (unsigned attempt = 0; attempt <= policy.retries; ++attempt) {
+    if (attempt > 0) {
+      double base_ms = 100.0 * static_cast<double>(1u << (attempt - 1));
+      base_ms = std::min(base_ms, 2000.0);
+      std::uniform_real_distribution<double> jitter(0.0, base_ms * 0.5);
+      const double delay_ms = base_ms + jitter(rng);
+      std::cerr << "daemon unreachable (" << error << "); retry " << attempt
+                << "/" << policy.retries << " in "
+                << static_cast<long>(delay_ms) << " ms\n";
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(delay_ms));
+    }
+    server::Client client;
+    client.set_timeouts({policy.connect_timeout_ms, policy.io_timeout_ms});
+    if (!client.connect(host, port, error)) continue;
+    std::string line;
+    if (!client.roundtrip(request_line, line, error)) continue;
+    auto parsed = server::parse_response(line, error);
+    if (!parsed) {
+      error = "malformed daemon response: " + error;
+      continue;  // truncated/garbled line — transport-level, retryable
+    }
+    resp = std::move(*parsed);
+    break;
   }
-  std::string line;
-  if (!client.roundtrip(server::render_request(req), line, error)) {
-    std::cerr << "daemon request failed: " << error << "\n";
-    return 2;
-  }
-  const auto resp = server::parse_response(line, error);
   if (!resp) {
-    std::cerr << "malformed daemon response: " << error << "\n";
-    return 2;
+    std::cerr << "daemon unreachable after " << (policy.retries + 1)
+              << " attempt(s): " << error << "\n";
+    return kExitUnreachable;
   }
   if (!resp->ok) {
     std::cerr << "daemon error: " << resp->error << "\n";
@@ -447,6 +508,8 @@ int main(int argc, char** argv) {
   bool connect_stats = false;
   bool connect_shutdown = false;
   bool no_cache = false;
+  ConnectPolicy connect_policy;
+  bool connect_policy_set = false;
   std::string checkpoint_file;
   bool resume = false;
   bool no_checkpoint = false;
@@ -515,6 +578,23 @@ int main(int argc, char** argv) {
       connect_shutdown = true;
     } else if (arg == "--no-cache") {
       no_cache = true;
+    } else if (arg == "--connect-timeout-ms" && i + 1 < argc) {
+      const auto n = parse_option("--connect-timeout-ms", argv[++i], 0,
+                                  1'000'000'000);
+      if (!n) return usage();
+      connect_policy.connect_timeout_ms = static_cast<double>(*n);
+      connect_policy_set = true;
+    } else if (arg == "--io-timeout-ms" && i + 1 < argc) {
+      const auto n = parse_option("--io-timeout-ms", argv[++i], 0,
+                                  1'000'000'000);
+      if (!n) return usage();
+      connect_policy.io_timeout_ms = static_cast<double>(*n);
+      connect_policy_set = true;
+    } else if (arg == "--connect-retries" && i + 1 < argc) {
+      const auto n = parse_option("--connect-retries", argv[++i], 0, 100);
+      if (!n) return usage();
+      connect_policy.retries = static_cast<unsigned>(*n);
+      connect_policy_set = true;
     } else if (arg == "--checkpoint-file" && i + 1 < argc) {
       checkpoint_file = argv[++i];
     } else if (arg == "--resume") {
@@ -586,10 +666,12 @@ int main(int argc, char** argv) {
       return usage();
     }
     return run_connect(connect_endpoint, files, root, opts, no_cache, resume,
-                       no_checkpoint, connect_stats, connect_shutdown);
+                       no_checkpoint, connect_stats, connect_shutdown,
+                       connect_policy);
   }
-  if (connect_stats || connect_shutdown || no_cache) {
-    std::cerr << "--stats/--shutdown/--no-cache require --connect\n";
+  if (connect_stats || connect_shutdown || no_cache || connect_policy_set) {
+    std::cerr << "--stats/--shutdown/--no-cache/--connect-timeout-ms/"
+                 "--io-timeout-ms/--connect-retries require --connect\n";
     return usage();
   }
 

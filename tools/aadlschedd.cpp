@@ -27,6 +27,18 @@
 //                            checkpoints are large)
 //   --checkpoint-disk-cap <n> max .ckpt files kept in --cache-dir
 //                            (default 16; oldest evicted first)
+//   --cache-disk-cap <mb>    byte budget for --cache-dir artifacts; the
+//                            maintenance sweep evicts oldest-atime-first
+//                            when over it (default 0 = unlimited)
+//   --maintenance-interval-ms <n>
+//                            period of the background maintenance sweep
+//                            (tmp hygiene + GC; default 30000, 0 disables
+//                            the thread — the startup sweep still runs)
+//
+// Several daemons may share one --cache-dir (DESIGN.md §15): every disk
+// artifact is digest-verified on read, maintenance is serialized by an
+// advisory directory lock, and cohabitants are discovered via the instance
+// registry and reported in `stats` (shared.instances) and at startup.
 //
 // On startup the daemon prints exactly one line
 //   aadlschedd listening on HOST:PORT
@@ -62,6 +74,7 @@ int usage() {
       "                  [--max-deadline-ms n] [--max-states n]\n"
       "                  [--memory-budget-mb n] [--no-checkpoint]\n"
       "                  [--checkpoint-capacity n] [--checkpoint-disk-cap n]\n"
+      "                  [--cache-disk-cap mb] [--maintenance-interval-ms n]\n"
       "                  [--no-reduction]\n";
   return 2;
 }
@@ -138,6 +151,17 @@ int main(int argc, char** argv) {
                                   1'000'000);
       if (!n) return usage();
       cfg.cache.checkpoint_disk_cap = static_cast<std::size_t>(*n);
+    } else if (arg == "--cache-disk-cap" && i + 1 < argc) {
+      const auto n = parse_option("--cache-disk-cap", argv[++i], 0,
+                                  1'000'000'000);
+      if (!n) return usage();
+      cfg.cache_disk_cap_bytes =
+          static_cast<std::uint64_t>(*n) * 1024 * 1024;
+    } else if (arg == "--maintenance-interval-ms" && i + 1 < argc) {
+      const auto n = parse_option("--maintenance-interval-ms", argv[++i], 0,
+                                  1'000'000'000);
+      if (!n) return usage();
+      cfg.maintenance_interval_ms = static_cast<double>(*n);
     } else {
       std::cerr << "unknown option '" << arg << "'\n";
       return usage();
@@ -156,6 +180,18 @@ int main(int argc, char** argv) {
   std::printf("aadlschedd listening on %s:%u\n", tcp.host.c_str(),
               static_cast<unsigned>(tcp_server.port()));
   std::fflush(stdout);
+
+  // Cohabitant report (stderr, so the stdout contract above holds): other
+  // live daemons already registered on this cache directory.
+  if (auto* janitor = service.janitor()) {
+    for (const auto& inst : janitor->live_instances()) {
+      if (inst.pid == ::getpid()) continue;
+      std::fprintf(stderr,
+                   "aadlschedd: sharing cache dir with daemon pid %ld "
+                   "(started %s)\n",
+                   static_cast<long>(inst.pid), inst.started.c_str());
+    }
+  }
 
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
