@@ -8,8 +8,10 @@
 #include "aadl/parser.hpp"
 #include "acsr/printer.hpp"
 #include "acsr/semantics.hpp"
+#include "core/symbolic_extract.hpp"
 #include "versa/checkpoint.hpp"
 #include "versa/inspection.hpp"
+#include "versa/symbolic.hpp"
 #include "util/string_utils.hpp"
 
 namespace aadlsched::core {
@@ -264,7 +266,56 @@ AnalysisResult analyze_resumed(versa::RestoredCheckpoint restored,
   return result;
 }
 
+/// The symbolic analogue of apply_exploration: map a state-class run onto
+/// the result. The class graph reuses the generic exploration counters
+/// (states = classes, depth = event-chain length) so downstream rendering —
+/// summary, JSON, service stats — needs no second vocabulary.
+void apply_symbolic(AnalysisResult& result,
+                    const versa::SymbolicResult& sr) {
+  result.engine = "symbolic";
+  result.states = sr.classes;
+  result.transitions = sr.transitions;
+  result.depth = sr.depth;
+  result.explore_ms = sr.wall_ms;
+  result.peak_frontier = sr.peak_frontier;
+  result.zone_subsumptions = sr.subsumptions;
+  result.dbm_dimension = sr.dbm_dimension;
+  if (sr.stop == util::StopReason::Fault) {
+    // validate_model refused a model extract_symbolic accepted — a bug,
+    // not a verdict. Surface the reasons; ok stays false.
+    for (const std::string& r : sr.witness)
+      result.diagnostics += "symbolic engine: " + r + "\n";
+    return;
+  }
+  result.ok = true;
+  // A found miss is conclusive even on a truncated run, exactly like the
+  // enumerator's first deadlock under stop_at_first_deadlock.
+  result.exhaustive = sr.complete || sr.miss_found;
+  result.schedulable = sr.complete && !sr.miss_found;
+  result.outcome = sr.miss_found ? Outcome::NotSchedulable
+                   : sr.complete ? Outcome::Schedulable
+                                 : Outcome::Inconclusive;
+  result.stop_reason = sr.stop;
+  result.symbolic_witness = sr.witness;
+}
+
 }  // namespace
+
+std::string_view to_string(Engine e) {
+  switch (e) {
+    case Engine::Enumerative: return "enumerative";
+    case Engine::Symbolic: return "symbolic";
+    case Engine::Auto: return "auto";
+  }
+  return "?";
+}
+
+std::optional<Engine> engine_from_string(std::string_view s) {
+  if (s == "enumerative") return Engine::Enumerative;
+  if (s == "symbolic") return Engine::Symbolic;
+  if (s == "auto") return Engine::Auto;
+  return std::nullopt;
+}
 
 std::string FailingScenario::render() const {
   std::ostringstream os;
@@ -324,6 +375,11 @@ std::string AnalysisResult::summary() const {
     if (scenario) {
       os << '\n' << scenario->render();
     }
+    if (!symbolic_witness.empty()) {
+      os << "\nCounterexample event trail:";
+      for (const std::string& line : symbolic_witness)
+        os << "\n  " << line;
+    }
   } else {
     // Partial result with meaning: the explored prefix is deadlock-free.
     os << "INCONCLUSIVE (" << util::to_string(stop_reason)
@@ -331,6 +387,10 @@ std::string AnalysisResult::summary() const {
        << " / " << states << " states (partial result, not a verdict)";
     if (trace_dropped) os << "\n  trace recording was dropped en route";
   }
+  if (engine == "symbolic")
+    os << "\nsymbolic: " << states << " zones explored, "
+       << zone_subsumptions << " subsumptions, DBM dimension "
+       << dbm_dimension;
   if (resumed)
     os << "\nresumed from depth " << resumed_from_depth << " ("
        << resumed_from_states
@@ -361,12 +421,38 @@ AnalysisResult analyze_instance(const aadl::InstanceModel& instance,
   AnalysisResult result;
   util::DiagnosticEngine diags("<model>");
 
+  // Engine resolution (DESIGN.md §16). Forced-symbolic outside the fragment
+  // is an error with the reasons spelled out; auto falls back to
+  // enumeration with the same reasons as a note.
+  SymbolicExtraction sx;
+  bool use_symbolic = false;
+  std::string resume_note;
+  if (opts.engine != Engine::Enumerative) {
+    sx = extract_symbolic(instance, opts.translation);
+    if (sx.applicable) {
+      use_symbolic = true;
+      result.engine = "symbolic";
+    } else if (opts.engine == Engine::Symbolic) {
+      result.diagnostics =
+          "symbolic engine inapplicable: " + sx.why() + "\n";
+      return result;  // ok == false: the forced engine cannot analyze this
+    } else {
+      resume_note = "symbolic engine inapplicable: " + sx.why() +
+                    "; falling back to enumerative exploration\n";
+    }
+  }
+
   // Warm resume: a valid checkpoint stands in for lint + translation + the
   // already-explored prefix. A checkpoint that fails validation (digest,
   // round-trip, any id out of range) downgrades to a cold run — resuming is
-  // an optimization, never a correctness risk.
-  std::string resume_note;
-  if (opts.resume_checkpoint && !opts.resume_checkpoint->empty()) {
+  // an optimization, never a correctness risk. The symbolic engine has no
+  // wavefront format: a resume request is noted and ignored.
+  if (use_symbolic && opts.resume_checkpoint &&
+      !opts.resume_checkpoint->empty()) {
+    resume_note +=
+        "checkpoint resume is unsupported for the symbolic engine; running "
+        "cold\n";
+  } else if (opts.resume_checkpoint && !opts.resume_checkpoint->empty()) {
     std::string why;
     if (auto restored =
             versa::parse_checkpoint(*opts.resume_checkpoint, why)) {
@@ -385,7 +471,7 @@ AnalysisResult analyze_instance(const aadl::InstanceModel& instance,
             ", this run wants symmetry=" + std::to_string(want.symmetry) +
             " commute=" + std::to_string(want.commute) + ")";
     }
-    resume_note = why + "; falling back to a cold run\n";
+    resume_note += why + "; falling back to a cold run\n";
   }
 
   if (opts.run_lint) {
@@ -414,6 +500,22 @@ AnalysisResult analyze_instance(const aadl::InstanceModel& instance,
       result.diagnostics = resume_note + diags.render_all();
       return result;  // ok == false: lint gate tripped
     }
+  }
+
+  if (use_symbolic) {
+    // The state-class engine never serializes a wavefront: a checkpoint
+    // request must fail loudly, not produce a silently empty artifact.
+    if (opts.checkpoint_out)
+      resume_note +=
+          "checkpointing unsupported for symbolic engine; no checkpoint "
+          "will be captured\n";
+    versa::SymbolicOptions sopts;
+    sopts.max_classes = opts.exploration.max_states;
+    sopts.budget = opts.exploration.budget;
+    const versa::SymbolicResult sr = versa::explore_symbolic(sx.model, sopts);
+    apply_symbolic(result, sr);
+    result.diagnostics = resume_note + diags.render_all() + result.diagnostics;
+    return result;
   }
 
   acsr::Context ctx;

@@ -20,9 +20,22 @@
 
 namespace aadlsched::core {
 
+/// Which exploration engine analyzes the model (DESIGN.md §16).
+/// Enumerative is the paper's unit-quantum BFS; Symbolic is the
+/// quantum-independent state-class engine over its restricted fragment;
+/// Auto picks Symbolic when the model is inside the fragment and falls
+/// back to Enumerative (with the inapplicability reasons in diagnostics)
+/// otherwise.
+enum class Engine : std::uint8_t { Enumerative, Symbolic, Auto };
+
+std::string_view to_string(Engine e);
+std::optional<Engine> engine_from_string(std::string_view s);
+
 struct AnalyzerOptions {
   translate::TranslateOptions translation;
   versa::ExploreOptions exploration;
+  /// Exploration engine selection (see Engine above).
+  Engine engine = Engine::Enumerative;
   /// Single-model exploration parallelism. workers == 1 (default) keeps the
   /// classic serial explorer; anything else routes through
   /// versa::explore_parallel (0 = hardware concurrency).
@@ -141,6 +154,23 @@ struct AnalysisResult {
   std::uint64_t fans_computed = 0;   // successor fans computed
   std::uint64_t memo_hits = 0;       // fans served from a memo cache
   std::vector<std::uint64_t> worker_states;  // states expanded per worker
+
+  /// Engine that produced (or would have produced) the verdict:
+  /// "enumerative" or "symbolic". Part of the canonical result JSON — the
+  /// cross-engine agreement suite normalizes it away alongside the other
+  /// engine-observability counters.
+  std::string engine = "enumerative";
+
+  // Symbolic-engine observability (DESIGN.md §16). Zero on enumerative
+  // runs. `states`/`transitions`/`depth`/`peak_frontier` above are reused
+  // for the class graph; these add what has no enumerative analogue.
+  std::uint64_t zone_subsumptions = 0;  // classes pruned by zone inclusion
+  std::uint64_t dbm_dimension = 0;      // clocks + reference row
+  /// Symbolic counterexample: the event trail to the missed deadline
+  /// ("t=40ms: deadline check", ...). The enumerative engine renders its
+  /// counterexample as `scenario` instead — a symbolic run has no quantum
+  /// timeline to draw.
+  std::vector<std::string> symbolic_witness;
 
   // Reduction observability (DESIGN.md §13). Summary-only, never part of
   // the canonical result JSON: with the layer active `states` counts orbit

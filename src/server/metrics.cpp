@@ -42,6 +42,12 @@ std::string StatsSnapshot::render_json() const {
   w.key("shared").begin_object();
   w.key("instances").value(shared_instances);
   w.end_object();
+  w.key("symbolic").begin_object();
+  w.key("runs").value(symbolic_runs);
+  w.key("zones").value(symbolic_zones);
+  w.key("subsumptions").value(symbolic_subsumptions);
+  w.key("max_dbm_dimension").value(symbolic_max_dbm_dimension);
+  w.end_object();
   w.key("coalesced").value(coalesced);
   w.key("protocol_errors").value(protocol_errors);
   w.key("outcomes").begin_object();
@@ -124,6 +130,17 @@ void Metrics::record_checkpoint_store() {
 void Metrics::record_checkpoint_resume_failure() {
   std::lock_guard lock(mu_);
   ++s_.checkpoint_resume_failures;
+}
+
+void Metrics::record_symbolic_run(std::uint64_t zones,
+                                  std::uint64_t subsumptions,
+                                  std::uint64_t dbm_dimension) {
+  std::lock_guard lock(mu_);
+  ++s_.symbolic_runs;
+  s_.symbolic_zones += zones;
+  s_.symbolic_subsumptions += subsumptions;
+  s_.symbolic_max_dbm_dimension =
+      std::max(s_.symbolic_max_dbm_dimension, dbm_dimension);
 }
 
 void Metrics::record_coalesced() {

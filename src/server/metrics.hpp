@@ -49,6 +49,12 @@ struct StatsSnapshot {
   std::uint64_t gc_removed_bytes = 0;
   std::uint64_t gc_remove_failures = 0;
   std::uint64_t gc_tmp_swept = 0;
+  // Symbolic engine (DESIGN.md §16): runs that used the state-class engine,
+  // cumulative zones/subsumptions across them, and the largest DBM seen.
+  std::uint64_t symbolic_runs = 0;
+  std::uint64_t symbolic_zones = 0;
+  std::uint64_t symbolic_subsumptions = 0;
+  std::uint64_t symbolic_max_dbm_dimension = 0;
   std::uint64_t coalesced = 0;  // requests that piggybacked an in-flight run
   std::uint64_t protocol_errors = 0;
   std::uint64_t outcomes[4] = {0, 0, 0, 0};  // indexed by core::Outcome
@@ -87,6 +93,8 @@ class Metrics {
   void record_checkpoint_miss();
   void record_checkpoint_store();
   void record_checkpoint_resume_failure();
+  void record_symbolic_run(std::uint64_t zones, std::uint64_t subsumptions,
+                           std::uint64_t dbm_dimension);
   void record_coalesced();
   void record_latency_ms(double ms);
   void in_flight_delta(int d);

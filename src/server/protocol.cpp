@@ -82,6 +82,17 @@ std::optional<Request> parse_request(std::string_view line,
       o.late_completion = lc->as_bool();
     if (const auto* nr = opts->get("no_reduction"))
       o.no_reduction = nr->as_bool();
+    if (const auto* e = opts->get("engine")) {
+      const auto parsed = e->is_string()
+                              ? core::engine_from_string(e->as_string())
+                              : std::nullopt;
+      if (!parsed) {
+        error = "options.engine must be \"enumerative\", \"symbolic\" or "
+                "\"auto\"";
+        return std::nullopt;
+      }
+      o.engine = *parsed;
+    }
     if (o.quantum_ns <= 0) {
       error = "options.quantum_ms must be positive";
       return std::nullopt;
@@ -112,6 +123,7 @@ std::string render_request(const Request& req) {
     w.key("lint").value(o.run_lint);
     w.key("late_completion").value(o.late_completion);
     w.key("no_reduction").value(o.no_reduction);
+    w.key("engine").value(core::to_string(o.engine));
     w.end_object();
   }
   w.end_object();

@@ -8,7 +8,8 @@
 //    "root": "Root.impl",
 //    "options": {"quantum_ms": 1, "max_states": 5000000, "deadline_ms": 0,
 //                "memory_budget_mb": 0, "workers": 1, "lint": true,
-//                "late_completion": false, "no_reduction": false},
+//                "late_completion": false, "no_reduction": false,
+//                "engine": "enumerative"},
 //    "no_cache": false, "resume": false, "no_checkpoint": false}
 // Request (stats | ping | shutdown):
 //   {"v": 1, "op": "stats"}
@@ -65,6 +66,10 @@ struct RequestOptions {
   /// mixing reduction settings under one key would conflate their
   /// checkpoint blobs (whose visited sets are representation-dependent).
   bool no_reduction = false;
+  /// Exploration engine (DESIGN.md §16). Part of the cache key: the two
+  /// engines agree on verdicts inside the symbolic fragment, but their
+  /// result objects differ in engine-observability fields.
+  core::Engine engine = core::Engine::Enumerative;
 };
 
 struct Request {

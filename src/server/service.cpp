@@ -32,11 +32,16 @@ std::string options_key(const RequestOptions& ro) {
   // pass can turn an explored model into a statically decided one (and
   // attach a static_certificate), so cached results from an older
   // catalogue must not be served.
-  std::uint64_t h = util::fnv1a("options-v3");
+  // v4: the exploration engine joined the key. Engines agree on verdicts
+  // inside the symbolic fragment, but result objects differ in their
+  // engine-observability fields ("engine", states-as-zones), so one key
+  // must never serve both.
+  std::uint64_t h = util::fnv1a("options-v4");
   h = util::hash_combine(h, static_cast<std::uint64_t>(ro.quantum_ns));
   h = util::hash_combine(h, ro.late_completion ? 1u : 0u);
   h = util::hash_combine(h, ro.run_lint ? 1u : 0u);
   h = util::hash_combine(h, ro.no_reduction ? 1u : 0u);
+  h = util::hash_combine(h, static_cast<std::uint64_t>(ro.engine));
   h = util::hash_combine(h, static_cast<std::uint64_t>(lint::kLintPassVersion));
   char buf[17];
   std::snprintf(buf, sizeof buf, "%016llx",
@@ -181,6 +186,7 @@ core::AnalyzerOptions Service::analyzer_options(
                                     : translate::ExecutionTimeModel::CommittedDemand;
   opts.run_lint = ro.run_lint;
   opts.no_reduction = ro.no_reduction || cfg_.force_no_reduction;
+  opts.engine = ro.engine;
   opts.exploration.max_states = ro.max_states;
   if (cfg_.max_states_cap > 0)
     opts.exploration.max_states =
@@ -238,6 +244,11 @@ std::future<Response> Service::submit(Request req) {
     resp.error = "service is shutting down";
     return immediate(std::move(resp));
   }
+
+  // A daemon-level engine override rewrites the request *before* the cache
+  // key is computed — same discipline as the options themselves, so forced
+  // and requested runs of the same engine share cache entries.
+  if (cfg_.force_engine) req.options.engine = *cfg_.force_engine;
 
   // Front end on the submitting thread: parse + instantiate + fingerprint
   // are microseconds against an exploration, and the fingerprint is needed
@@ -388,6 +399,10 @@ void Service::run_job(const std::shared_ptr<Job>& job) {
       core::analyze_instance(*job->parsed->instance, opts);
   result.diagnostics = job->parsed->front_end_output + result.diagnostics;
   const std::string result_json = core::render_result_json(result);
+
+  if (result.engine == "symbolic")
+    metrics_.record_symbolic_run(result.states, result.zone_subsumptions,
+                                 result.dbm_dimension);
 
   if (resume_attempted && !result.resumed) {
     // The blob failed restore validation (analyze_instance fell back to a

@@ -54,6 +54,10 @@ struct ServiceConfig {
   /// Daemon-level override: run every request without the reduction layer
   /// (aadlschedd --no-reduction), regardless of per-request options.
   bool force_no_reduction = false;
+  /// Daemon-level engine override (aadlschedd --engine): rewrites every
+  /// request's engine before cache-key computation, so forced and requested
+  /// runs of the same engine share cache entries.
+  std::optional<core::Engine> force_engine;
   /// Admission policy (see file comment).
   std::size_t small_model_bytes = 16 * 1024;
   std::size_t small_burst = 4;

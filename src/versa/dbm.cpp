@@ -1,0 +1,116 @@
+#include "versa/dbm.hpp"
+
+#include <sstream>
+
+#include "util/hash.hpp"
+
+namespace aadlsched::versa {
+
+DbmBound dbm_zero() { return {0, false}; }
+DbmBound dbm_inf() { return {kDbmInf, false}; }
+
+bool dbm_less(const DbmBound& a, const DbmBound& b) {
+  if (a.value != b.value) return a.value < b.value;
+  return a.strict && !b.strict;
+}
+
+DbmBound dbm_add(const DbmBound& a, const DbmBound& b) {
+  if (a.value == kDbmInf || b.value == kDbmInf) return dbm_inf();
+  return {a.value + b.value, a.strict || b.strict};
+}
+
+Dbm::Dbm(std::size_t clocks) : dim_(clocks + 1), m_(dim_ * dim_, dbm_inf()) {
+  for (std::size_t i = 0; i < dim_; ++i) set(i, i, dbm_zero());
+  // x_0 - x_i <= 0: clocks are non-negative.
+  for (std::size_t i = 1; i < dim_; ++i) set(0, i, dbm_zero());
+}
+
+Dbm Dbm::point(const std::vector<std::int64_t>& x) {
+  Dbm z(x.size());
+  for (std::size_t i = 1; i <= x.size(); ++i) {
+    z.set(i, 0, {x[i - 1], false});
+    z.set(0, i, {-x[i - 1], false});
+  }
+  z.canonicalize();
+  return z;
+}
+
+void Dbm::canonicalize() {
+  for (std::size_t k = 0; k < dim_; ++k) {
+    for (std::size_t i = 0; i < dim_; ++i) {
+      const DbmBound ik = at(i, k);
+      if (ik.value == kDbmInf) continue;
+      for (std::size_t j = 0; j < dim_; ++j) {
+        const DbmBound via = dbm_add(ik, at(k, j));
+        if (dbm_less(via, at(i, j))) set(i, j, via);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < dim_; ++i) {
+    const DbmBound d = at(i, i);
+    if (d.value < 0 || (d.value == 0 && d.strict)) {
+      empty_ = true;
+      return;
+    }
+  }
+  empty_ = false;
+}
+
+void Dbm::up() {
+  for (std::size_t i = 1; i < dim_; ++i) set(i, 0, dbm_inf());
+  // Removing only the x_i - x_0 column of a canonical matrix keeps every
+  // other entry tight (no shortest path shrinks when edges are removed),
+  // so the result is canonical without another Floyd-Warshall pass.
+}
+
+void Dbm::constrain_upper(std::size_t i, std::int64_t c, bool strict) {
+  const DbmBound b{c, strict};
+  if (dbm_less(b, at(i, 0))) set(i, 0, b);
+}
+
+void Dbm::constrain_lower(std::size_t i, std::int64_t c, bool strict) {
+  const DbmBound b{-c, strict};
+  if (dbm_less(b, at(0, i))) set(0, i, b);
+}
+
+bool Dbm::includes(const Dbm& other) const {
+  if (dim_ != other.dim_) return false;
+  for (std::size_t idx = 0; idx < m_.size(); ++idx) {
+    // Every constraint of `this` must be at least as loose.
+    if (dbm_less(m_[idx], other.m_[idx])) return false;
+  }
+  return true;
+}
+
+std::uint64_t Dbm::hash() const {
+  std::uint64_t h = util::fnv1a(std::string_view{});
+  h = util::hash_combine(h, dim_);
+  for (const DbmBound& b : m_) {
+    h = util::hash_combine(h, static_cast<std::uint64_t>(b.value));
+    h = util::hash_combine(h, b.strict ? 1u : 0u);
+  }
+  return h;
+}
+
+std::string Dbm::to_string() const {
+  std::ostringstream os;
+  if (empty_) return "<empty zone>\n";
+  const auto name = [](std::size_t i) {
+    if (i == 0) return std::string("0");
+    std::string n = "x";
+    n += std::to_string(i);
+    return n;
+  };
+  for (std::size_t i = 0; i < dim_; ++i) {
+    for (std::size_t j = 0; j < dim_; ++j) {
+      if (i == j) continue;
+      const DbmBound& b = at(i, j);
+      if (b.value == kDbmInf) continue;
+      os << name(i) << " - " << name(j) << (b.strict ? " < " : " <= ")
+         << b.value << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace aadlsched::versa

@@ -1,0 +1,109 @@
+// Difference-bound matrices: the zone representation behind the symbolic
+// exploration engine (DESIGN.md §16).
+//
+// A DBM over clocks x_1..x_n (plus the reference clock x_0 = 0) stores one
+// bound per ordered pair: m[i][j] = (c, strict) encodes x_i - x_j < c or
+// x_i - x_j <= c. The represented zone is the conjunction of all n^2
+// constraints. Canonicalization (all-pairs shortest paths over the bound
+// semiring) makes every implied constraint explicit, which gives:
+//
+//   * a unique representative per zone — equality is entrywise comparison;
+//   * inclusion by entrywise bound comparison (Z1 subset of Z2 iff every
+//     canonical bound of Z1 is at most Z2's), the subsumption test of the
+//     symbolic visited set;
+//   * emptiness as a negative cycle (m[i][i] < 0).
+//
+// Bounds are exact signed 64-bit nanosecond values with an infinity
+// sentinel; arithmetic saturates at infinity, and the paper's models keep
+// magnitudes far below the overflow range (periods are bounded by
+// translate-time checks). All operations keep the matrix canonical unless
+// documented otherwise.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace aadlsched::versa {
+
+/// One DBM entry: the bound of x_i - x_j. `value == kDbmInf` means
+/// unbounded (and `strict` is then meaningless but kept false so equal
+/// zones compare equal entrywise).
+struct DbmBound {
+  std::int64_t value = 0;
+  bool strict = false;
+
+  friend bool operator==(const DbmBound& a, const DbmBound& b) {
+    return a.value == b.value && a.strict == b.strict;
+  }
+  friend bool operator!=(const DbmBound& a, const DbmBound& b) {
+    return !(a == b);
+  }
+};
+
+inline constexpr std::int64_t kDbmInf = INT64_MAX;
+
+/// (<=, 0): the additive identity of the bound semiring.
+DbmBound dbm_zero();
+/// Unbounded.
+DbmBound dbm_inf();
+/// Tighter-than: (c, <) beats (c, <=) beats (c', <=) for c' > c.
+bool dbm_less(const DbmBound& a, const DbmBound& b);
+/// Bound addition, saturating at infinity; strictness is OR.
+DbmBound dbm_add(const DbmBound& a, const DbmBound& b);
+
+class Dbm {
+ public:
+  /// The universal zone (every clock unconstrained, all >= 0) over
+  /// `clocks` clocks. Dimension of the matrix is clocks + 1.
+  explicit Dbm(std::size_t clocks);
+
+  /// The singular zone {x}: every clock pinned to the given value.
+  static Dbm point(const std::vector<std::int64_t>& x);
+
+  std::size_t clocks() const { return dim_ - 1; }
+  std::size_t dimension() const { return dim_; }
+
+  /// Raw access; i/j in [0, dimension). Writing through set() leaves the
+  /// matrix non-canonical until canonicalize() runs.
+  const DbmBound& at(std::size_t i, std::size_t j) const {
+    return m_[i * dim_ + j];
+  }
+  void set(std::size_t i, std::size_t j, DbmBound b) { m_[i * dim_ + j] = b; }
+
+  /// All-pairs shortest paths (Floyd-Warshall over the bound semiring).
+  /// Detects emptiness; on an empty zone the matrix contents are
+  /// unspecified and only empty() is meaningful.
+  void canonicalize();
+  bool empty() const { return empty_; }
+
+  /// Delay closure ("up"): remove every upper bound x_i <= c, yielding
+  /// {x + d*1 : x in Z, d >= 0}. Keeps diagonal constraints. Preserves
+  /// canonical form.
+  void up();
+
+  /// Intersect with x_i <= c (strict when `strict`). Non-canonical after.
+  void constrain_upper(std::size_t i, std::int64_t c, bool strict = false);
+  /// Intersect with x_i >= c (strict when `strict`). Non-canonical after.
+  void constrain_lower(std::size_t i, std::int64_t c, bool strict = false);
+
+  /// Entrywise inclusion test; both sides must be canonical and non-empty.
+  bool includes(const Dbm& other) const;
+
+  friend bool operator==(const Dbm& a, const Dbm& b) {
+    return a.dim_ == b.dim_ && a.empty_ == b.empty_ && a.m_ == b.m_;
+  }
+
+  /// FNV-1a over the canonical entries.
+  std::uint64_t hash() const;
+
+  /// Debug rendering: one constraint per line, implied bounds included.
+  std::string to_string() const;
+
+ private:
+  std::size_t dim_;
+  std::vector<DbmBound> m_;
+  bool empty_ = false;
+};
+
+}  // namespace aadlsched::versa

@@ -570,6 +570,51 @@ TEST(Checkpoint, StaleV1FormatIsRejectedWithADiagnostic) {
   EXPECT_NE(r.diagnostics.find("stale checkpoint format"), std::string::npos);
 }
 
+// --- symbolic engine interplay (DESIGN.md §16) --------------------------
+
+// Checkpoints serialize an enumerative BFS wavefront; the state-class
+// engine has no such thing. Asking for one must produce a loud note and no
+// artifact — never a silently empty blob a daemon would then cache.
+TEST(Checkpoint, SymbolicRunRefusesToCheckpoint) {
+  core::AnalyzerOptions opts = base_options();
+  opts.engine = core::Engine::Symbolic;
+  std::string blob;
+  opts.checkpoint_out = &blob;
+
+  const auto r = core::analyze_source(medium_model(), "Root.impl", opts);
+  ASSERT_TRUE(r.ok) << r.diagnostics;
+  EXPECT_EQ(r.engine, "symbolic");
+  EXPECT_EQ(r.outcome, core::Outcome::Schedulable);
+  EXPECT_FALSE(r.checkpoint_captured);
+  EXPECT_TRUE(blob.empty());
+  EXPECT_NE(
+      r.diagnostics.find("checkpointing unsupported for symbolic engine"),
+      std::string::npos);
+}
+
+TEST(Checkpoint, SymbolicRunIgnoresAValidEnumerativeCheckpoint) {
+  core::AnalyzerOptions bound = base_options();
+  bound.exploration.max_states = 40;
+  std::string blob;
+  bound.checkpoint_out = &blob;
+  ASSERT_TRUE(core::analyze_source(medium_model(), "Root.impl", bound)
+                  .checkpoint_captured);
+
+  // The blob is perfectly valid — but an enumerative wavefront cannot seed
+  // a class graph, so the symbolic engine runs cold and says so.
+  core::AnalyzerOptions warm = base_options();
+  warm.engine = core::Engine::Symbolic;
+  warm.resume_checkpoint = &blob;
+  const auto r = core::analyze_source(medium_model(), "Root.impl", warm);
+  ASSERT_TRUE(r.ok) << r.diagnostics;
+  EXPECT_FALSE(r.resumed);
+  EXPECT_EQ(r.engine, "symbolic");
+  EXPECT_EQ(r.outcome, core::Outcome::Schedulable);
+  EXPECT_NE(r.diagnostics.find(
+                "checkpoint resume is unsupported for the symbolic engine"),
+            std::string::npos);
+}
+
 // --- versa-level round trip ---------------------------------------------
 
 TEST(Checkpoint, VersaParseRoundTripPreservesTheWavefront) {

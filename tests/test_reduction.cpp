@@ -41,6 +41,9 @@ constexpr ExampleModel kExamples[] = {
     {"avionics.aadl", "Avionics.impl"},
     {"storm.aadl", "Storm.impl"},
     {"symmetric.aadl", "Symmetric.impl"},
+    {"quantum_ladder.aadl", "QuantumLadder.impl"},
+    {"slow_periodic.aadl", "SlowPeriodic.impl"},
+    {"dual_rig.aadl", "DualRig.impl"},
 };
 
 std::string models_dir() { return AADLSCHED_MODELS_DIR; }

@@ -532,6 +532,108 @@ TEST(Service, MalformedLineIsAProtocolError) {
   EXPECT_TRUE(svc.handle(analyze(tiny_model(2, 10, 10))).ok);
 }
 
+// --- symbolic engine at the service layer (DESIGN.md §16) ---------------
+
+TEST(Service, EngineSplitsTheCacheKey) {
+  Service svc;
+  Request req = analyze(tiny_model(2, 10, 10));
+  const Response en = svc.handle(req);
+  ASSERT_TRUE(en.ok) << en.error;
+  EXPECT_NE(en.result_json.find("\"engine\": \"enumerative\""),
+            std::string::npos);
+
+  // Same model, symbolic engine: a distinct cache entry, same verdict.
+  req.options.engine = core::Engine::Symbolic;
+  const Response sy = svc.handle(req);
+  ASSERT_TRUE(sy.ok) << sy.error;
+  EXPECT_FALSE(sy.cached);
+  EXPECT_EQ(sy.outcome, core::Outcome::Schedulable);
+  EXPECT_NE(sy.result_json.find("\"engine\": \"symbolic\""),
+            std::string::npos);
+  EXPECT_EQ(sy.fingerprint, en.fingerprint);  // model text is identical
+  EXPECT_EQ(stat(stats_of(svc), "cache", "entries"), 2);
+
+  // And the symbolic entry serves warm afterwards, bytes verbatim.
+  const Response warm = svc.handle(req);
+  EXPECT_TRUE(warm.cached);
+  EXPECT_EQ(warm.result_json, sy.result_json);
+}
+
+TEST(Service, SymbolicRunsAreReportedInStats) {
+  Service svc;
+  Request req = analyze(tiny_model(2, 10, 10));
+  req.options.engine = core::Engine::Symbolic;
+  ASSERT_TRUE(svc.handle(req).ok);
+  const auto s = stats_of(svc);
+  EXPECT_EQ(stat(s, "symbolic", "runs"), 1);
+  EXPECT_GT(stat(s, "symbolic", "zones"), 0);
+  EXPECT_EQ(stat(s, "symbolic", "max_dbm_dimension"), 2);  // 1 clock + ref
+
+  // A cache hit is not a run: the counters stay put.
+  ASSERT_TRUE(svc.handle(req).cached);
+  EXPECT_EQ(stat(stats_of(svc), "symbolic", "runs"), 1);
+}
+
+TEST(Service, ForceEngineRewritesTheRequestBeforeTheCacheKey) {
+  ServiceConfig cfg;
+  cfg.force_engine = core::Engine::Symbolic;
+  Service svc(cfg);
+
+  // One request asks for nothing, the other explicitly for enumerative;
+  // the daemon-level override rewrites both to symbolic BEFORE key
+  // computation, so the second is a warm hit on the first's entry.
+  Request plain = analyze(tiny_model(2, 10, 10));
+  const Response first = svc.handle(plain);
+  ASSERT_TRUE(first.ok) << first.error;
+  EXPECT_NE(first.result_json.find("\"engine\": \"symbolic\""),
+            std::string::npos);
+
+  Request explicit_enum = analyze(tiny_model(2, 10, 10));
+  explicit_enum.options.engine = core::Engine::Enumerative;
+  const Response second = svc.handle(explicit_enum);
+  ASSERT_TRUE(second.ok);
+  EXPECT_TRUE(second.cached);
+  EXPECT_EQ(second.result_json, first.result_json);
+  EXPECT_EQ(stat(stats_of(svc), "cache", "entries"), 1);
+}
+
+TEST(Service, EngineFieldRoundTripsThroughTheProtocol) {
+  Service svc;
+  Request req = analyze(tiny_model(2, 10, 10), "e1");
+  req.options.engine = core::Engine::Symbolic;
+  const std::string line = server::render_request(req);
+  EXPECT_NE(line.find("\"engine\": \"symbolic\""), std::string::npos);
+
+  std::string err;
+  const auto parsed = server::parse_request(line, err);
+  ASSERT_TRUE(parsed.has_value()) << err;
+  EXPECT_EQ(parsed->options.engine, core::Engine::Symbolic);
+
+  const std::string out = svc.handle_line(line);
+  const auto resp = server::parse_response(out, err);
+  ASSERT_TRUE(resp.has_value()) << err;
+  EXPECT_TRUE(resp->ok);
+  EXPECT_NE(resp->result_json.find("\"engine\": \"symbolic\""),
+            std::string::npos);
+}
+
+TEST(Service, UnknownEngineValueIsAProtocolError) {
+  Service svc;
+  std::string line =
+      server::render_request(analyze(tiny_model(2, 10, 10), "bad"));
+  const std::string key = "\"engine\": \"enumerative\"";
+  const auto pos = line.find(key);
+  ASSERT_NE(pos, std::string::npos);
+  line.replace(pos, key.size(), "\"engine\": \"zonal\"");
+
+  std::string err;
+  const auto resp = server::parse_response(svc.handle_line(line), err);
+  ASSERT_TRUE(resp.has_value()) << err;
+  EXPECT_FALSE(resp->ok);
+  EXPECT_NE(resp->error.find("options.engine"), std::string::npos);
+  EXPECT_EQ(stat(stats_of(svc), "protocol_errors"), 1);
+}
+
 // --- admission policy ---------------------------------------------------
 
 TEST(AdmissionQueue, SmallBurstThenLarge) {

@@ -24,6 +24,12 @@
 //                          (symmetry canonicalization + commutation
 //                          linearization, DESIGN.md §13); the verdict and
 //                          the --json result are identical either way
+//   --engine <e>           exploration engine: enumerative (default,
+//                          the paper's unit-quantum BFS), symbolic (the
+//                          quantum-independent state-class engine,
+//                          DESIGN.md §16 — errors out on models outside
+//                          its fragment), or auto (symbolic when
+//                          applicable, enumerative fallback otherwise)
 //   --batch <file>         analyze every model listed in <file> (one
 //                          "<model.aadl>... <Root.impl>" per line, '#'
 //                          comments); each entry is isolated — a crashing
@@ -123,7 +129,7 @@ int usage() {
       "                 [--classical] [--latency src sink ms]\n"
       "                 [--late-completion] [--max-states n] [--workers n]\n"
       "                 [--deadline-ms n] [--memory-budget-mb n]\n"
-      "                 [--no-reduction]\n"
+      "                 [--no-reduction] [--engine enumerative|symbolic|auto]\n"
       "                 [--lint] [--lint-format text|json] [--no-lint]\n"
       "                 [--explain AL0NN]\n"
       "                 [--json] [--checkpoint-file f] [--resume]\n"
@@ -308,6 +314,7 @@ server::RequestOptions to_request_options(const core::AnalyzerOptions& opts) {
   ro.late_completion = opts.translation.time_model ==
                        translate::ExecutionTimeModel::LateCompletion;
   ro.no_reduction = opts.no_reduction;
+  ro.engine = opts.engine;
   return ro;
 }
 
@@ -550,6 +557,16 @@ int main(int argc, char** argv) {
           static_cast<std::uint64_t>(*n) * 1024 * 1024;
     } else if (arg == "--no-reduction") {
       opts.no_reduction = true;
+    } else if (arg == "--engine" && i + 1 < argc) {
+      const char* value = argv[++i];
+      const auto engine = core::engine_from_string(value);
+      if (!engine) {
+        std::cerr << "invalid value '" << value
+                  << "' for --engine (expected enumerative, symbolic or "
+                     "auto)\n";
+        return usage();
+      }
+      opts.engine = *engine;
     } else if (arg == "--batch" && i + 1 < argc) {
       batch_list = argv[++i];
     } else if (arg == "--batch-workers" && i + 1 < argc) {

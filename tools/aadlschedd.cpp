@@ -23,6 +23,10 @@
 //   --no-reduction           run every request without the state-space
 //                            reduction layer (DESIGN.md §13), regardless
 //                            of per-request options
+//   --engine <e>             force every request onto one exploration
+//                            engine (enumerative | symbolic | auto,
+//                            DESIGN.md §16), overriding per-request
+//                            options before cache-key computation
 //   --checkpoint-capacity <n> in-memory checkpoint entries (default 4 —
 //                            checkpoints are large)
 //   --checkpoint-disk-cap <n> max .ckpt files kept in --cache-dir
@@ -75,7 +79,8 @@ int usage() {
       "                  [--memory-budget-mb n] [--no-checkpoint]\n"
       "                  [--checkpoint-capacity n] [--checkpoint-disk-cap n]\n"
       "                  [--cache-disk-cap mb] [--maintenance-interval-ms n]\n"
-      "                  [--no-reduction]\n";
+      "                  [--no-reduction] "
+      "[--engine enumerative|symbolic|auto]\n";
   return 2;
 }
 
@@ -141,6 +146,16 @@ int main(int argc, char** argv) {
       cfg.cache.checkpoints = false;
     } else if (arg == "--no-reduction") {
       cfg.force_no_reduction = true;
+    } else if (arg == "--engine" && i + 1 < argc) {
+      const char* value = argv[++i];
+      const auto engine = core::engine_from_string(value);
+      if (!engine) {
+        std::cerr << "invalid value '" << value
+                  << "' for --engine (expected enumerative, symbolic or "
+                     "auto)\n";
+        return usage();
+      }
+      cfg.force_engine = *engine;
     } else if (arg == "--checkpoint-capacity" && i + 1 < argc) {
       const auto n = parse_option("--checkpoint-capacity", argv[++i], 0,
                                   1'000'000);

@@ -88,6 +88,16 @@ def lint_us_per_model(reports):
                        "BM_LintStaticScreen")) * 1e6
 
 
+def symbolic_zones_per_sec(reports):
+    b = row(reports["BENCH_symbolic.json"], "BM_SymbolicSlowPeriodic")
+    return b["zones"] / seconds(b)
+
+
+def symbolic_decide_rate(reports):
+    return row(reports["BENCH_symbolic.json"],
+               "BM_SymbolicDecidePortfolio")["decide_rate"]
+
+
 class Metric:
     def __init__(self, name, derive, higher_is_better, floor, unit):
         self.name = name
@@ -127,6 +137,14 @@ METRICS = [
            higher_is_better=True, floor=0.02, unit="x"),
     Metric("lint_us_per_model", lint_us_per_model,
            higher_is_better=False, floor=50.0, unit="us"),
+    # Symbolic engine (DESIGN.md §16): class-graph throughput on the
+    # long-hyperperiod fixture, and the fragment's conclusive-decision
+    # fraction over its portfolio (a drop means the engine started
+    # refusing or truncating models it must own).
+    Metric("symbolic_zones_per_sec", symbolic_zones_per_sec,
+           higher_is_better=True, floor=500.0, unit="zones/s"),
+    Metric("symbolic_decide_rate", symbolic_decide_rate,
+           higher_is_better=True, floor=0.02, unit="x"),
 ]
 
 

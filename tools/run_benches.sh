@@ -8,6 +8,7 @@
 #   BENCH_checkpoint.json  checkpoint capture/resume timings (bench_checkpoint)
 #   BENCH_reduction.json   reduction-ablation states/bytes  (bench_reduction)
 #   BENCH_lint.json        static screening decide rate/cost (bench_lint)
+#   BENCH_symbolic.json    symbolic engine zones/decide rate (bench_symbolic)
 #
 # Usage: run_benches.sh <build-dir> [--smoke] [--out <dir>]
 #
@@ -53,4 +54,5 @@ run bench_service BENCH_service.json
 run bench_checkpoint BENCH_checkpoint.json
 run bench_reduction BENCH_reduction.json
 run bench_lint BENCH_lint.json
+run bench_symbolic BENCH_symbolic.json
 echo "benchmark reports written to $out"
