@@ -1,0 +1,127 @@
+// Experiment-harness throughput (EXPERIMENTS.md E15): how many generated
+// models per second does `aadlsched-exp` push through the in-process
+// backend?  The harness is the fleet driver for every acceptance curve, so
+// its own overhead (spec expansion, deterministic rendering, request
+// marshalling, report tallying) must stay a rounding error next to the
+// analyses it fans out. The table prints the E15 acceptance grid from the
+// shipped smoke spec; the BM_ rows feed BENCH_exp.json via
+// tools/run_benches.sh and the models/sec gate in tools/bench_diff.py.
+#include "bench_common.hpp"
+#include "exp/report.hpp"
+#include "exp/runner.hpp"
+#include "exp/spec.hpp"
+
+namespace {
+
+using namespace aadlsched;
+
+exp::ExperimentSpec smoke_like_spec() {
+  exp::ExperimentSpec spec;
+  spec.name = "bench";
+  spec.policies = {"rm", "edf"};
+  spec.utilizations = {0.5, 0.9};
+  spec.task_counts = {3};
+  spec.seed_begin = 1;
+  spec.seed_count = 5;
+  spec.workers = 2;
+  return spec;
+}
+
+void print_table() {
+  bench::print_header(
+      "experiment harness: acceptance by cell (in-process backend)",
+      "the harness mass-generates seeded workloads and reports per-cell "
+      "acceptance; verdict data is byte-identical across backends");
+  const exp::ExperimentSpec spec = smoke_like_spec();
+  const exp::ExperimentResult result = exp::run_experiment(spec, std::nullopt);
+  std::printf("# %-8s %12s %10s %12s %12s\n", "policy", "utilization",
+              "runs", "acceptance", "mean_ms");
+  for (const exp::CellResult& cell : result.cells) {
+    std::size_t schedulable = 0;
+    double total_ms = 0.0;
+    for (const exp::RunOutcome& run : cell.runs) {
+      if (run.outcome == "schedulable") ++schedulable;
+      total_ms += run.latency_ms;
+    }
+    const double n = static_cast<double>(cell.runs.size());
+    std::printf("# %-8s %12.2f %10zu %12.2f %12.3f\n",
+                cell.cell.policy.c_str(), cell.cell.utilization,
+                cell.runs.size(), n > 0 ? schedulable / n : 0.0,
+                n > 0 ? total_ms / n : 0.0);
+  }
+  std::printf("# total: %zu runs in %.1f ms (%.1f models/s)\n",
+              result.total_runs, result.total_ms,
+              result.total_ms > 0
+                  ? 1000.0 * static_cast<double>(result.total_runs) /
+                        result.total_ms
+                  : 0.0);
+}
+
+// Tiny grid so one iteration stays in the low milliseconds: the timing is
+// dominated by the analyses themselves, which is exactly what "models/sec
+// through the harness" should measure. The models counter lets bench_diff
+// derive throughput without assuming the grid size.
+void BM_ExperimentGridInProcess(benchmark::State& state) {
+  exp::ExperimentSpec spec;
+  spec.name = "bench-tiny";
+  spec.policies = {"rm"};
+  spec.utilizations = {0.5};
+  spec.task_counts = {2};
+  spec.seed_begin = 1;
+  spec.seed_count = 3;
+  spec.workers = 2;
+  std::size_t models = 0;
+  for (auto _ : state) {
+    const exp::ExperimentResult result =
+        exp::run_experiment(spec, std::nullopt);
+    models += result.total_runs;
+    benchmark::DoNotOptimize(result.total_runs);
+  }
+  state.counters["models"] =
+      benchmark::Counter(static_cast<double>(models) /
+                         static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_ExperimentGridInProcess)->Unit(benchmark::kMillisecond);
+
+// Rendering alone (no analysis): spec -> workload -> AADL text. This is the
+// harness's own per-model overhead; it must stay in the tens of
+// microseconds so generation never starves the analysis workers.
+void BM_RenderModel(benchmark::State& state) {
+  exp::ExperimentSpec spec;
+  spec.name = "bench-render";
+  const exp::Cell cell{"rm", 0.7, 4, 1.0, 1, "enumerative", 1};
+  std::string error;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    const auto model = exp::render_model(spec, cell, 0, seed++, error);
+    if (!model) {
+      state.SkipWithError(error.c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(model->size());
+  }
+}
+BENCHMARK(BM_RenderModel)->Unit(benchmark::kMicrosecond);
+
+// Report tallying over a fixed result: the post-processing cost per run.
+void BM_RenderReport(benchmark::State& state) {
+  exp::ExperimentSpec spec;
+  spec.name = "bench-report";
+  spec.policies = {"rm"};
+  spec.utilizations = {0.5};
+  spec.task_counts = {2};
+  spec.seed_count = 3;
+  spec.workers = 2;
+  const exp::ExperimentResult result = exp::run_experiment(spec, std::nullopt);
+  for (auto _ : state) {
+    const std::string report = exp::render_report(spec, result);
+    benchmark::DoNotOptimize(report.size());
+  }
+}
+BENCHMARK(BM_RenderReport)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return aadlsched::bench::run_main(argc, argv, print_table);
+}

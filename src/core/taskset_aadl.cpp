@@ -34,12 +34,21 @@ std::string_view lock_protocol_property_name(sched::LockProtocol p) {
 }
 
 std::string render(const sched::TaskSet& ts, sched::SchedulingPolicy policy,
-                   std::int64_t quantum_ns,
+                   const TasksetRenderOptions& opts,
                    const sched::ResourceModel* rm) {
   std::ostringstream os;
   const auto ns = [&](sched::Time quanta) {
-    return std::to_string(quanta * quantum_ns) + " ns";
+    return std::to_string(quanta * opts.quantum_ns) + " ns";
   };
+
+  // Provenance header: "-- " per line, before the package. The parser
+  // skips comments, so this never changes the analyzed model.
+  if (!opts.header_comment.empty()) {
+    std::istringstream hdr(opts.header_comment);
+    std::string line;
+    while (std::getline(hdr, line)) os << "-- " << line << "\n";
+    os << "\n";
+  }
 
   // (task, resource) -> longest critical section; one access feature and
   // one connection per pair (the extractor keeps one duration per access).
@@ -54,7 +63,7 @@ std::string render(const sched::TaskSet& ts, sched::SchedulingPolicy policy,
   for (const sched::Task& t : ts.tasks)
     max_cpu = std::max(max_cpu, t.processor);
 
-  os << "package Gen\npublic\n\n";
+  os << "package " << opts.package << "\npublic\n\n";
   os << "  processor GenCpu\n  properties\n    Scheduling_Protocol => "
      << protocol_property_name(policy) << ";\n  end GenCpu;\n\n";
 
@@ -165,7 +174,7 @@ std::string render(const sched::TaskSet& ts, sched::SchedulingPolicy policy,
   for (const auto& [key, dur] : acc)
     os << "    Critical_Section_Time => " << ns(dur) << " applies to a"
        << key.first << "_" << key.second << ";\n";
-  os << "  end Root.impl;\n\nend Gen;\n";
+  os << "  end Root.impl;\n\nend " << opts.package << ";\n";
   return os.str();
 }
 
@@ -173,15 +182,32 @@ std::string render(const sched::TaskSet& ts, sched::SchedulingPolicy policy,
 
 std::string taskset_to_aadl(const sched::TaskSet& ts,
                             sched::SchedulingPolicy policy,
+                            const TasksetRenderOptions& opts) {
+  return render(ts, policy, opts, nullptr);
+}
+
+std::string taskset_to_aadl(const sched::TaskSet& ts,
+                            sched::SchedulingPolicy policy,
                             std::int64_t quantum_ns) {
-  return render(ts, policy, quantum_ns, nullptr);
+  TasksetRenderOptions opts;
+  opts.quantum_ns = quantum_ns;
+  return render(ts, policy, opts, nullptr);
+}
+
+std::string taskset_to_aadl_shared(const sched::TaskSet& ts,
+                                   sched::SchedulingPolicy policy,
+                                   const sched::ResourceModel& resources,
+                                   const TasksetRenderOptions& opts) {
+  return render(ts, policy, opts, &resources);
 }
 
 std::string taskset_to_aadl_shared(const sched::TaskSet& ts,
                                    sched::SchedulingPolicy policy,
                                    const sched::ResourceModel& resources,
                                    std::int64_t quantum_ns) {
-  return render(ts, policy, quantum_ns, &resources);
+  TasksetRenderOptions opts;
+  opts.quantum_ns = quantum_ns;
+  return render(ts, policy, opts, &resources);
 }
 
 }  // namespace aadlsched::core

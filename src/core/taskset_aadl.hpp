@@ -19,10 +19,32 @@ namespace aadlsched::core {
 /// Scheduling protocol names accepted by the AADL front end.
 std::string_view protocol_property_name(sched::SchedulingPolicy policy);
 
-/// Render the task set as an AADL package "Gen" with root system
-/// implementation "Gen::Root.impl". Task times are interpreted as
-/// multiples of `quantum_ns`. Sporadic tasks get a device-driven incoming
-/// event connection (the device fires at the task's minimum separation).
+/// Presentation knobs for the generated AADL text. The defaults reproduce
+/// the historical output byte for byte; the experiment harness overrides
+/// them so each generated model file is self-describing (which spec cell
+/// and seed produced it) without a side-channel manifest.
+struct TasksetRenderOptions {
+  /// AADL package name; the root implementation is "<package>::Root.impl".
+  std::string package = "Gen";
+  /// Free-text provenance rendered as leading "-- " comment lines (split on
+  /// '\n'). Empty = no header. Comments are ignored by the parser, so two
+  /// renders differing only here have identical analysis fingerprints only
+  /// if the daemon fingerprints the *model text* — they do not; keep the
+  /// header identical across backends when byte-identical caching matters.
+  std::string header_comment;
+  /// Task times are interpreted as multiples of this quantum.
+  std::int64_t quantum_ns = 1'000'000;
+};
+
+/// Render the task set as a complete, bound AADL system (see
+/// TasksetRenderOptions for package naming). Sporadic tasks get a
+/// device-driven incoming event connection (the device fires at the task's
+/// minimum separation).
+std::string taskset_to_aadl(const sched::TaskSet& ts,
+                            sched::SchedulingPolicy policy,
+                            const TasksetRenderOptions& opts);
+
+/// Back-compat shim: package "Gen", no header.
 std::string taskset_to_aadl(const sched::TaskSet& ts,
                             sched::SchedulingPolicy policy,
                             std::int64_t quantum_ns = 1'000'000);
@@ -34,6 +56,12 @@ std::string taskset_to_aadl(const sched::TaskSet& ts,
 /// association per connection. Durations are multiples of `quantum_ns`.
 /// This drives the shared-resource agreement experiments (EXPERIMENTS.md
 /// E12) through the same front end the AL015/AL016 passes read.
+std::string taskset_to_aadl_shared(const sched::TaskSet& ts,
+                                   sched::SchedulingPolicy policy,
+                                   const sched::ResourceModel& resources,
+                                   const TasksetRenderOptions& opts);
+
+/// Back-compat shim: package "Gen", no header.
 std::string taskset_to_aadl_shared(const sched::TaskSet& ts,
                                    sched::SchedulingPolicy policy,
                                    const sched::ResourceModel& resources,

@@ -13,6 +13,11 @@ double TaskSet::utilization() const {
   return u;
 }
 
+double TaskSet::utilization_drift() const {
+  return requested_utilization < 0 ? 0.0
+                                   : utilization() - requested_utilization;
+}
+
 TaskSet TaskSet::on_processor(int cpu) const {
   TaskSet out;
   for (const Task& t : tasks)

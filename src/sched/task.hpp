@@ -41,7 +41,17 @@ struct Task {
 struct TaskSet {
   std::vector<Task> tasks;
 
+  /// Total utilization the generator was asked for (< 0 when this set was
+  /// not produced by sched::generate_workload). The *realized* utilization
+  /// is utilization() — WCET quantization and the min-wcet clamp make the
+  /// two differ, and acceptance curves binned by the requested value
+  /// silently mix populations (see workload.hpp).
+  double requested_utilization = -1.0;
+
+  /// Realized total utilization, sum of wcet/period over all tasks.
   double utilization() const;
+  /// utilization() - requested_utilization; 0 when no request was recorded.
+  double utilization_drift() const;
   /// Tasks bound to one processor, preserving order.
   TaskSet on_processor(int cpu) const;
   /// All deadlines constrained (D <= T)?

@@ -20,9 +20,34 @@ std::vector<double> uunifast(std::size_t n, double total,
   return out;
 }
 
-TaskSet generate_workload(const WorkloadSpec& spec, std::uint64_t seed) {
+std::optional<std::string> validate_workload_spec(const WorkloadSpec& spec) {
+  if (spec.task_count < 1)
+    return "workload spec: task_count must be >= 1";
+  if (spec.periods.empty())
+    return "workload spec: period set must be non-empty";
+  for (const Time p : spec.periods)
+    if (p < 1)
+      return "workload spec: every candidate period must be >= 1 quantum "
+             "(got " +
+             std::to_string(p) + ")";
+  if (!(spec.total_utilization > 0.0) ||
+      !std::isfinite(spec.total_utilization))
+    return "workload spec: total_utilization must be finite and > 0";
+  if (!(spec.deadline_fraction >= 0.0 && spec.deadline_fraction <= 1.0))
+    return "workload spec: deadline_fraction must be in [0, 1]";
+  return std::nullopt;
+}
+
+std::optional<TaskSet> try_generate_workload(const WorkloadSpec& spec,
+                                             std::uint64_t seed,
+                                             std::string& error) {
+  if (auto bad = validate_workload_spec(spec)) {
+    error = std::move(*bad);
+    return std::nullopt;
+  }
   util::Xoshiro256 rng(seed);
   TaskSet ts;
+  ts.requested_utilization = spec.total_utilization;
   const std::vector<double> us =
       uunifast(spec.task_count, spec.total_utilization, rng);
   for (std::size_t i = 0; i < spec.task_count; ++i) {
@@ -43,6 +68,12 @@ TaskSet generate_workload(const WorkloadSpec& spec, std::uint64_t seed) {
     ts.tasks.push_back(std::move(t));
   }
   return ts;
+}
+
+TaskSet generate_workload(const WorkloadSpec& spec, std::uint64_t seed) {
+  std::string error;
+  auto ts = try_generate_workload(spec, seed, error);
+  return ts ? std::move(*ts) : TaskSet{};
 }
 
 }  // namespace aadlsched::sched

@@ -63,6 +63,9 @@ std::string StatsSnapshot::render_json() const {
   w.key("queue_depth").value(queue_depth);
   w.key("latency").begin_object();
   w.key("samples").value(latency_samples);
+  // Percentiles cover only the last `window` samples; `samples` is
+  // all-time (see StatsSnapshot::latency_window).
+  w.key("window").value(latency_window);
   w.key("p50_ms").value(p50_ms);
   w.key("p95_ms").value(p95_ms);
   w.key("max_ms").value(max_ms);
@@ -189,6 +192,7 @@ StatsSnapshot Metrics::snapshot(const CacheGauges& gauges) const {
   out.shared_instances = gauges.shared_instances;
   out.analyses_run = s_.analyses_run;
   out.latency_samples = latency_total_;
+  out.latency_window = latency_ring_.size();
   out.max_ms = latency_max_;
   if (!latency_ring_.empty()) {
     std::vector<double> sorted = latency_ring_;

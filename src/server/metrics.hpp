@@ -67,7 +67,13 @@ struct StatsSnapshot {
   /// when the disk tier is off).
   std::uint64_t shared_instances = 0;
   // Latency of served analyze requests (submit -> response), milliseconds.
+  // `latency_samples` counts every sample ever recorded; the percentiles
+  // are computed over only the most recent `latency_window` samples (the
+  // bounded ring, Metrics::kLatencyRing). A long soak that trusts p50/p95
+  // as all-time aggregates would misread them — the stats JSON carries the
+  // window explicitly so consumers can tell recent from cumulative.
   std::uint64_t latency_samples = 0;
+  std::uint64_t latency_window = 0;  // samples behind p50/p95 (<= ring size)
   double p50_ms = 0;
   double p95_ms = 0;
   double max_ms = 0;

@@ -670,6 +670,42 @@ TEST(AdmissionQueue, PureSmallWorkloadNeverStalls) {
   EXPECT_EQ(q.pop(), std::nullopt);
 }
 
+// --- metrics latency window (bugfix) ------------------------------------
+
+// p50/p95 are computed over only the last kLatencyRing (4096) samples while
+// `samples` counts all-time; the snapshot and the stats JSON must say so
+// explicitly. Overfill the ring with a slow prefix that the window must
+// forget: percentiles reflect only the fast tail, max stays all-time.
+TEST(Metrics, LatencyWindowIsExplicitWhenTheRingOverfills) {
+  server::Metrics m;
+  constexpr std::size_t kRing = 4096;
+  constexpr std::size_t kSlowPrefix = 1000;
+  for (std::size_t i = 0; i < kSlowPrefix; ++i) m.record_latency_ms(500.0);
+  for (std::size_t i = 0; i < kRing; ++i) m.record_latency_ms(1.0);
+
+  const server::StatsSnapshot s = m.snapshot({});
+  EXPECT_EQ(s.latency_samples, kSlowPrefix + kRing);  // all-time
+  EXPECT_EQ(s.latency_window, kRing);                 // percentile scope
+  EXPECT_DOUBLE_EQ(s.p50_ms, 1.0);   // the slow prefix left the window
+  EXPECT_DOUBLE_EQ(s.p95_ms, 1.0);
+  EXPECT_DOUBLE_EQ(s.max_ms, 500.0);  // max is all-time, not windowed
+
+  const std::string json = s.render_json();
+  EXPECT_NE(json.find("\"samples\": 5096"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"window\": 4096"), std::string::npos) << json;
+}
+
+// Under-filled ring: the window equals the sample count, so percentiles
+// and the counter describe the same population.
+TEST(Metrics, LatencyWindowEqualsSamplesBeforeOverflow) {
+  server::Metrics m;
+  for (int i = 0; i < 10; ++i) m.record_latency_ms(2.0);
+  const server::StatsSnapshot s = m.snapshot({});
+  EXPECT_EQ(s.latency_samples, 10u);
+  EXPECT_EQ(s.latency_window, 10u);
+  EXPECT_DOUBLE_EQ(s.p50_ms, 2.0);
+}
+
 TEST(AdmissionQueue, LargeOnlyIsFifo) {
   server::AdmissionQueue q(4);
   q.push(1, false);

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 
 #include "sched/workload.hpp"
 
@@ -82,6 +83,92 @@ TEST(Workload, ImplicitDeadlinesWhenFractionIsOne) {
   spec.deadline_fraction = 1.0;
   for (std::uint64_t seed = 1; seed <= 20; ++seed)
     EXPECT_TRUE(generate_workload(spec, seed).implicit_deadlines());
+}
+
+// Regression: an empty period set used to underflow `periods.size() - 1`,
+// hit Xoshiro256::uniform_int's span==0 full-range branch, and index
+// spec.periods out of bounds. The spec must be rejected with a diagnostic,
+// never generated (this suite runs under the asan ctest label).
+TEST(WorkloadValidation, EmptyPeriodSetIsRejectedNotUB) {
+  WorkloadSpec spec;
+  spec.periods.clear();
+  const auto bad = validate_workload_spec(spec);
+  ASSERT_TRUE(bad.has_value());
+  EXPECT_NE(bad->find("period"), std::string::npos);
+
+  std::string error;
+  EXPECT_FALSE(try_generate_workload(spec, 42, error).has_value());
+  EXPECT_NE(error.find("period"), std::string::npos);
+  // The legacy signature degrades to an empty set instead of crashing.
+  EXPECT_TRUE(generate_workload(spec, 42).tasks.empty());
+}
+
+TEST(WorkloadValidation, StructuralInvariantsOfTheSpecItself) {
+  const auto rejects = [](auto mutate, const char* what) {
+    WorkloadSpec spec;
+    mutate(spec);
+    std::string error;
+    EXPECT_FALSE(try_generate_workload(spec, 1, error).has_value()) << what;
+    EXPECT_FALSE(error.empty()) << what;
+    EXPECT_TRUE(generate_workload(spec, 1).tasks.empty()) << what;
+  };
+  rejects([](WorkloadSpec& s) { s.task_count = 0; }, "zero tasks");
+  rejects([](WorkloadSpec& s) { s.total_utilization = 0.0; }, "zero U");
+  rejects([](WorkloadSpec& s) { s.total_utilization = -0.5; }, "negative U");
+  rejects([](WorkloadSpec& s) { s.deadline_fraction = -0.1; }, "df < 0");
+  rejects([](WorkloadSpec& s) { s.deadline_fraction = 1.5; }, "df > 1");
+  rejects([](WorkloadSpec& s) { s.periods = {4, 0, 8}; }, "zero period");
+
+  // A valid spec still round-trips through the checked entry point.
+  WorkloadSpec ok;
+  std::string error;
+  const auto ts = try_generate_workload(ok, 7, error);
+  ASSERT_TRUE(ts.has_value()) << error;
+  EXPECT_EQ(ts->tasks.size(), ok.task_count);
+}
+
+// Property: WCET rounding plus the min_wcet_one clamp drift the realized
+// sum(C/T) from the requested total by at most 1/T per task (|llround
+// error| <= 0.5 quantum; a 0 -> 1 bump or a clamp to T stays under one
+// quantum), so on the default period set (min period 4) the total drift is
+// bounded by task_count / 4. The generator must record the request so
+// consumers can bin by the realized value.
+TEST(WorkloadRealizedUtilization, DriftIsRecordedAndBounded) {
+  bool any_drift = false;
+  for (std::size_t n : {2u, 4u, 8u}) {
+    for (double u : {0.3, 0.6, 0.9}) {
+      WorkloadSpec spec;
+      spec.task_count = n;
+      spec.total_utilization = u;
+      const Time min_period =
+          *std::min_element(spec.periods.begin(), spec.periods.end());
+      const double bound =
+          static_cast<double>(n) / static_cast<double>(min_period) + 1e-9;
+      for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+        const TaskSet ts = generate_workload(spec, seed);
+        EXPECT_DOUBLE_EQ(ts.requested_utilization, u);
+        double realized = 0;
+        for (const Task& t : ts.tasks)
+          realized += static_cast<double>(t.wcet) /
+                      static_cast<double>(t.period);
+        EXPECT_NEAR(ts.utilization(), realized, 1e-12);
+        EXPECT_NEAR(ts.utilization_drift(), realized - u, 1e-12);
+        EXPECT_LE(std::abs(ts.utilization_drift()), bound)
+            << "n=" << n << " u=" << u << " seed=" << seed;
+        any_drift |= std::abs(ts.utilization_drift()) > 1e-6;
+      }
+    }
+  }
+  // The drift is real (not a vacuous bound): some seed must actually move.
+  EXPECT_TRUE(any_drift);
+}
+
+TEST(WorkloadRealizedUtilization, UnsetRequestMeansZeroDrift) {
+  TaskSet ts;
+  ts.tasks.push_back({"t", 2, 2, 4, 4, 0, DispatchKind::Periodic, 0});
+  EXPECT_LT(ts.requested_utilization, 0);
+  EXPECT_DOUBLE_EQ(ts.utilization_drift(), 0.0);
+  EXPECT_DOUBLE_EQ(ts.utilization(), 0.5);
 }
 
 TEST(Workload, UtilizationTracksTarget) {

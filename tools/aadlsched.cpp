@@ -112,6 +112,7 @@
 #include "lint/lint.hpp"
 #include "sched/analysis.hpp"
 #include "sched/simulator.hpp"
+#include "server/client.hpp"
 #include "server/protocol.hpp"
 #include "server/tcp.hpp"
 #include "util/budget.hpp"
@@ -302,28 +303,9 @@ std::string render_batch_json(const std::vector<BatchEntry>& entries,
 }
 
 // --- client mode (--connect) --------------------------------------------
-
-server::RequestOptions to_request_options(const core::AnalyzerOptions& opts) {
-  server::RequestOptions ro;
-  ro.quantum_ns = opts.translation.quantum_ns;
-  ro.max_states = opts.exploration.max_states;
-  ro.deadline_ms = opts.exploration.budget.deadline_ms;
-  ro.memory_budget_mb = opts.exploration.budget.memory_bytes / (1024 * 1024);
-  ro.workers = opts.parallel.workers;
-  ro.run_lint = opts.run_lint;
-  ro.late_completion = opts.translation.time_model ==
-                       translate::ExecutionTimeModel::LateCompletion;
-  ro.no_reduction = opts.no_reduction;
-  ro.engine = opts.engine;
-  return ro;
-}
-
-/// --connect transport policy: per-attempt timeouts plus bounded retry.
-struct ConnectPolicy {
-  double connect_timeout_ms = 2000;
-  double io_timeout_ms = 0;  // analyses can legitimately run long
-  unsigned retries = 3;
-};
+// The option mapping and the retry/backoff transport live in
+// server/client.hpp (shared with aadlsched-exp); this file only owns the
+// CLI surface: argument plumbing, stderr messages, and exit codes.
 
 /// Exit code for "daemon unreachable": every transport-level failure
 /// (refused, timeout, truncated response) after retries are exhausted.
@@ -341,7 +323,7 @@ int run_connect(const std::string& endpoint,
                 const std::vector<std::string>& files, const std::string& root,
                 const core::AnalyzerOptions& opts, bool no_cache, bool resume,
                 bool no_checkpoint, bool want_stats, bool want_shutdown,
-                const ConnectPolicy& policy) {
+                const server::RetryPolicy& policy) {
   std::string host;
   std::uint16_t port = 0;
   if (!server::parse_endpoint(endpoint, host, port)) {
@@ -361,7 +343,7 @@ int run_connect(const std::string& endpoint,
     req.no_cache = no_cache;
     req.resume = resume;
     req.no_checkpoint = no_checkpoint;
-    req.options = to_request_options(opts);
+    req.options = server::to_request_options(opts);
     // The daemon parses one text; AADL packages concatenate cleanly, so a
     // multi-file model becomes one request body.
     for (const std::string& f : files) {
@@ -374,42 +356,16 @@ int run_connect(const std::string& endpoint,
       if (!req.model.empty() && req.model.back() != '\n') req.model += '\n';
     }
   }
-  const std::string request_line = server::render_request(req);
 
-  // Jitter decorrelates a herd of clients retrying against one restarting
-  // daemon; pid ^ clock keeps forked batch runners apart.
-  std::mt19937 rng(static_cast<std::uint32_t>(::getpid()) ^
-                   static_cast<std::uint32_t>(
-                       std::chrono::steady_clock::now()
-                           .time_since_epoch()
-                           .count()));
-  std::optional<server::Response> resp;
   std::string error;
-  for (unsigned attempt = 0; attempt <= policy.retries; ++attempt) {
-    if (attempt > 0) {
-      double base_ms = 100.0 * static_cast<double>(1u << (attempt - 1));
-      base_ms = std::min(base_ms, 2000.0);
-      std::uniform_real_distribution<double> jitter(0.0, base_ms * 0.5);
-      const double delay_ms = base_ms + jitter(rng);
-      std::cerr << "daemon unreachable (" << error << "); retry " << attempt
-                << "/" << policy.retries << " in "
-                << static_cast<long>(delay_ms) << " ms\n";
-      std::this_thread::sleep_for(
-          std::chrono::duration<double, std::milli>(delay_ms));
-    }
-    server::Client client;
-    client.set_timeouts({policy.connect_timeout_ms, policy.io_timeout_ms});
-    if (!client.connect(host, port, error)) continue;
-    std::string line;
-    if (!client.roundtrip(request_line, line, error)) continue;
-    auto parsed = server::parse_response(line, error);
-    if (!parsed) {
-      error = "malformed daemon response: " + error;
-      continue;  // truncated/garbled line — transport-level, retryable
-    }
-    resp = std::move(*parsed);
-    break;
-  }
+  const auto resp = server::request_with_retry(
+      host, port, req, policy, error,
+      [&](unsigned attempt, unsigned retries, double delay_ms,
+          const std::string& why) {
+        std::cerr << "daemon unreachable (" << why << "); retry " << attempt
+                  << "/" << retries << " in " << static_cast<long>(delay_ms)
+                  << " ms\n";
+      });
   if (!resp) {
     std::cerr << "daemon unreachable after " << (policy.retries + 1)
               << " attempt(s): " << error << "\n";
@@ -515,7 +471,7 @@ int main(int argc, char** argv) {
   bool connect_stats = false;
   bool connect_shutdown = false;
   bool no_cache = false;
-  ConnectPolicy connect_policy;
+  server::RetryPolicy connect_policy;
   bool connect_policy_set = false;
   std::string checkpoint_file;
   bool resume = false;

@@ -98,6 +98,15 @@ def symbolic_decide_rate(reports):
                "BM_SymbolicDecidePortfolio")["decide_rate"]
 
 
+def exp_models_per_sec(reports):
+    b = row(reports["BENCH_exp.json"], "BM_ExperimentGridInProcess")
+    return b["models"] / seconds(b)
+
+
+def exp_render_us(reports):
+    return seconds(row(reports["BENCH_exp.json"], "BM_RenderModel")) * 1e6
+
+
 class Metric:
     def __init__(self, name, derive, higher_is_better, floor, unit):
         self.name = name
@@ -145,6 +154,14 @@ METRICS = [
            higher_is_better=True, floor=500.0, unit="zones/s"),
     Metric("symbolic_decide_rate", symbolic_decide_rate,
            higher_is_better=True, floor=0.02, unit="x"),
+    # Experiment harness (DESIGN.md §17): end-to-end models/sec through the
+    # in-process backend — the fleet driver's throughput — and the harness's
+    # own per-model rendering overhead, which must stay in microseconds so
+    # generation never starves the analysis workers.
+    Metric("exp_models_per_sec", exp_models_per_sec,
+           higher_is_better=True, floor=20.0, unit="models/s"),
+    Metric("exp_render_us", exp_render_us,
+           higher_is_better=False, floor=50.0, unit="us"),
 ]
 
 

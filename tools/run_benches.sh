@@ -9,6 +9,7 @@
 #   BENCH_reduction.json   reduction-ablation states/bytes  (bench_reduction)
 #   BENCH_lint.json        static screening decide rate/cost (bench_lint)
 #   BENCH_symbolic.json    symbolic engine zones/decide rate (bench_symbolic)
+#   BENCH_exp.json         experiment harness models/sec     (bench_exp)
 #
 # Usage: run_benches.sh <build-dir> [--smoke] [--out <dir>]
 #
@@ -55,4 +56,5 @@ run bench_checkpoint BENCH_checkpoint.json
 run bench_reduction BENCH_reduction.json
 run bench_lint BENCH_lint.json
 run bench_symbolic BENCH_symbolic.json
+run bench_exp BENCH_exp.json
 echo "benchmark reports written to $out"
